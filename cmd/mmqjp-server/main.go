@@ -1,0 +1,176 @@
+// Command mmqjp-server is a minimal XML publish/subscribe broker built on
+// the MMQJP engine: clients subscribe with XSCL queries and publish XML
+// documents over a line-oriented TCP protocol; matches are pushed to the
+// connection that registered the query.
+//
+// Protocol (one request per line):
+//
+//	SUB <xscl-query>             -> OK <qid> | ERR <message>
+//	PUB <stream> <ts> <xml>      -> OK <matches> | ERR <message>
+//	STATS                        -> OK <engine stats>
+//	QUIT                         -> closes the connection
+//
+// Matches are delivered asynchronously as
+//
+//	MATCH <qid> left=<docid>@<ts> right=<docid>@<ts>
+//
+// Document ids are assigned by arrival order. Example session:
+//
+//	$ mmqjp-server -addr :7878 &
+//	$ printf 'SUB S//a->x JOIN{x=y, 100} S//b->y\nPUB S 1 <a>v</a>\nPUB S 2 <b>v</b>\n' | nc localhost 7878
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+
+	mmqjp "repro"
+)
+
+type server struct {
+	mu      sync.Mutex
+	eng     *mmqjp.Engine
+	nextDoc int64
+	// owners maps a query to the connection that subscribed it.
+	owners map[mmqjp.QueryID]*client
+}
+
+type client struct {
+	conn net.Conn
+	mu   sync.Mutex // serializes writes
+}
+
+func (c *client) send(line string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	fmt.Fprintln(c.conn, line)
+}
+
+func main() {
+	addr := flag.String("addr", ":7878", "listen address")
+	viewMat := flag.Bool("viewmat", true, "enable view materialization")
+	flag.Parse()
+
+	kind := mmqjp.ProcessorMMQJP
+	if *viewMat {
+		kind = mmqjp.ProcessorViewMat
+	}
+	s := &server{
+		eng:    mmqjp.New(mmqjp.Options{Processor: kind}),
+		owners: map[mmqjp.QueryID]*client{},
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("mmqjp-server: %v", err)
+	}
+	log.Printf("mmqjp-server listening on %s", ln.Addr())
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			log.Printf("accept: %v", err)
+			continue
+		}
+		go s.serve(&client{conn: conn})
+	}
+}
+
+func (s *server) serve(c *client) {
+	defer c.conn.Close()
+	sc := bufio.NewScanner(c.conn)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		verb, rest, _ := strings.Cut(line, " ")
+		switch strings.ToUpper(verb) {
+		case "SUB":
+			s.handleSub(c, rest)
+		case "PUB":
+			s.handlePub(c, rest)
+		case "STATS":
+			s.mu.Lock()
+			stats := s.eng.Stats()
+			s.mu.Unlock()
+			c.send("OK " + stats)
+		case "QUIT":
+			return
+		default:
+			c.send("ERR unknown verb " + verb)
+		}
+	}
+}
+
+func (s *server) handleSub(c *client, src string) {
+	s.mu.Lock()
+	id, err := s.eng.Subscribe(src)
+	if err == nil {
+		s.owners[id] = c
+	}
+	s.mu.Unlock()
+	if err != nil {
+		c.send("ERR " + err.Error())
+		return
+	}
+	c.send(fmt.Sprintf("OK %d", id))
+}
+
+func (s *server) handlePub(c *client, rest string) {
+	stream, rest, ok1 := cut(rest)
+	tsText, xmlText, ok2 := cut(rest)
+	if !ok1 || !ok2 {
+		c.send("ERR usage: PUB <stream> <ts> <xml>")
+		return
+	}
+	ts, err := strconv.ParseInt(tsText, 10, 64)
+	if err != nil {
+		c.send("ERR bad timestamp: " + err.Error())
+		return
+	}
+	s.mu.Lock()
+	s.nextDoc++
+	docID := s.nextDoc
+	matches, err := s.eng.PublishXML(stream, xmlText, docID, ts)
+	var deliveries []struct {
+		to   *client
+		line string
+	}
+	if err == nil {
+		for _, m := range matches {
+			owner := s.owners[m.Query]
+			if owner == nil {
+				continue
+			}
+			deliveries = append(deliveries, struct {
+				to   *client
+				line string
+			}{owner, fmt.Sprintf("MATCH %d left=%d@%d right=%d@%d",
+				m.Query, m.LeftDoc, m.LeftTS, m.RightDoc, m.RightTS)})
+		}
+	}
+	s.mu.Unlock()
+	if err != nil {
+		c.send("ERR " + err.Error())
+		return
+	}
+	for _, d := range deliveries {
+		d.to.send(d.line)
+	}
+	c.send(fmt.Sprintf("OK %d", len(matches)))
+}
+
+func cut(s string) (first, rest string, ok bool) {
+	s = strings.TrimSpace(s)
+	i := strings.IndexByte(s, ' ')
+	if i < 0 {
+		return s, "", s != ""
+	}
+	return s[:i], strings.TrimSpace(s[i+1:]), true
+}

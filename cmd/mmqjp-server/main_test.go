@@ -1,0 +1,142 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	mmqjp "repro"
+)
+
+// startTestServer runs the broker on an ephemeral port and returns its
+// address.
+func startTestServer(t *testing.T) string {
+	t.Helper()
+	s := &server{
+		eng:    mmqjp.New(mmqjp.Options{Processor: mmqjp.ProcessorViewMat}),
+		owners: map[mmqjp.QueryID]*client{},
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go s.serve(&client{conn: conn})
+		}
+	}()
+	return ln.Addr().String()
+}
+
+type testConn struct {
+	conn net.Conn
+	rd   *bufio.Reader
+}
+
+func dialTest(t *testing.T, addr string) *testConn {
+	t.Helper()
+	conn, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return &testConn{conn: conn, rd: bufio.NewReader(conn)}
+}
+
+func (c *testConn) sendLine(t *testing.T, line string) {
+	t.Helper()
+	if _, err := fmt.Fprintln(c.conn, line); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func (c *testConn) readLine(t *testing.T) string {
+	t.Helper()
+	c.conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	line, err := c.rd.ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	return strings.TrimSpace(line)
+}
+
+func TestServerSubPubMatch(t *testing.T) {
+	addr := startTestServer(t)
+	c := dialTest(t, addr)
+
+	c.sendLine(t, "SUB S//a->x JOIN{x=y, 100} S//b->y")
+	if got := c.readLine(t); got != "OK 0" {
+		t.Fatalf("SUB -> %q", got)
+	}
+	c.sendLine(t, "PUB S 1 <a>v</a>")
+	if got := c.readLine(t); got != "OK 0" {
+		t.Fatalf("first PUB -> %q", got)
+	}
+	c.sendLine(t, "PUB S 2 <b>v</b>")
+	// Expect the MATCH push and the PUB ack, in either order.
+	got1, got2 := c.readLine(t), c.readLine(t)
+	lines := got1 + "\n" + got2
+	if !strings.Contains(lines, "MATCH 0 left=1@1 right=2@2") {
+		t.Errorf("missing match push: %q %q", got1, got2)
+	}
+	if !strings.Contains(lines, "OK 1") {
+		t.Errorf("missing pub ack: %q %q", got1, got2)
+	}
+}
+
+func TestServerErrors(t *testing.T) {
+	addr := startTestServer(t)
+	c := dialTest(t, addr)
+
+	c.sendLine(t, "SUB not[valid")
+	if got := c.readLine(t); !strings.HasPrefix(got, "ERR") {
+		t.Errorf("bad SUB -> %q", got)
+	}
+	c.sendLine(t, "PUB S notanumber <a/>")
+	if got := c.readLine(t); !strings.HasPrefix(got, "ERR") {
+		t.Errorf("bad ts -> %q", got)
+	}
+	c.sendLine(t, "PUB S 1 <unclosed>")
+	if got := c.readLine(t); !strings.HasPrefix(got, "ERR") {
+		t.Errorf("bad xml -> %q", got)
+	}
+	c.sendLine(t, "NOSUCH verb")
+	if got := c.readLine(t); !strings.HasPrefix(got, "ERR") {
+		t.Errorf("bad verb -> %q", got)
+	}
+	c.sendLine(t, "STATS")
+	if got := c.readLine(t); !strings.HasPrefix(got, "OK ") {
+		t.Errorf("STATS -> %q", got)
+	}
+}
+
+func TestServerMatchesRoutedToOwner(t *testing.T) {
+	addr := startTestServer(t)
+	sub := dialTest(t, addr)
+	pub := dialTest(t, addr)
+
+	sub.sendLine(t, "SUB S//a->x FOLLOWED BY{x=y, 100} S//b->y")
+	if got := sub.readLine(t); got != "OK 0" {
+		t.Fatalf("SUB -> %q", got)
+	}
+	pub.sendLine(t, "PUB S 1 <a>k</a>")
+	if got := pub.readLine(t); got != "OK 0" {
+		t.Fatalf("PUB -> %q", got)
+	}
+	pub.sendLine(t, "PUB S 5 <b>k</b>")
+	if got := pub.readLine(t); got != "OK 1" {
+		t.Fatalf("PUB -> %q", got)
+	}
+	// The subscriber connection receives the push.
+	if got := sub.readLine(t); !strings.HasPrefix(got, "MATCH 0") {
+		t.Errorf("subscriber got %q", got)
+	}
+}

@@ -1,0 +1,102 @@
+// Command xsclc is the XSCL compiler/inspector: it parses XSCL queries and
+// prints their join graphs, reduced graph minors, query templates and the
+// per-template conjunctive queries in Datalog — the artifacts of Sections 2,
+// 4.1, 4.2 and 4.4 of the paper.
+//
+// Usage:
+//
+//	xsclc 'S//a->x FOLLOWED BY{x=y, 100} S//b->y'
+//	xsclc -paper            # inspect the paper's Q1, Q2, Q3
+//	echo 'q1; q2' | xsclc - # read ;-separated queries from stdin
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/xscl"
+)
+
+func main() {
+	paper := flag.Bool("paper", false, "inspect the paper's example queries Q1-Q3 (Table 2)")
+	flag.Parse()
+
+	var sources []string
+	switch {
+	case *paper:
+		sources = []string{
+			xscl.PaperQ1(100).Source,
+			xscl.PaperQ2(200).Source,
+			xscl.PaperQ3(300).Source,
+		}
+	case flag.NArg() == 1 && flag.Arg(0) == "-":
+		data, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			fatal(err)
+		}
+		for _, stmt := range strings.Split(string(data), ";") {
+			if strings.TrimSpace(stmt) != "" {
+				sources = append(sources, stmt)
+			}
+		}
+	case flag.NArg() >= 1:
+		sources = flag.Args()
+	default:
+		fmt.Fprintln(os.Stderr, "usage: xsclc [-paper] <query> ... | xsclc -")
+		os.Exit(2)
+	}
+
+	templates := map[string]core.TemplateID{}
+	var nextID core.TemplateID
+	for i, src := range sources {
+		q, err := xscl.Parse(src)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("-- query %d --\n%s\n\n", i+1, q)
+		if q.Op == xscl.OpNone {
+			fmt.Printf("single-block query (no join graph)\n\n")
+			continue
+		}
+		g, err := core.BuildJoinGraph(q)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("join graph:")
+		fmt.Println(indent(g.String()))
+		red, sig, order := core.ExtractTemplate(g)
+		fmt.Println("graph minor:")
+		fmt.Println(indent(red.String()))
+		id, ok := templates[sig]
+		if !ok {
+			id = nextID
+			nextID++
+			templates[sig] = id
+		}
+		tmpl := core.NewTemplateFromCanonical(sig, red, order)
+		tmpl.ID = id
+		fmt.Printf("template: T%d (%d nodes, %d value joins%s)\n", id, tmpl.N, len(tmpl.VJ), sharedNote(ok))
+		fmt.Printf("conjunctive query:\n  %s\n\n", tmpl.Datalog())
+	}
+	fmt.Printf("%d queries, %d distinct templates\n", len(sources), len(templates))
+}
+
+func sharedNote(shared bool) string {
+	if shared {
+		return ", shared with an earlier query"
+	}
+	return ""
+}
+
+func indent(s string) string {
+	return "  " + strings.ReplaceAll(strings.TrimRight(s, "\n"), "\n", "\n  ")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "xsclc:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,38 @@
+// Package mmqjp is an XML publish/subscribe engine implementing Massively
+// Multi-Query Join Processing (Hong, Demers, Gehrke, Koch, Riedewald,
+// White — SIGMOD 2007): scalable evaluation of very large numbers of
+// continuous inter-document join queries over streams of XML documents.
+//
+// Queries are written in XSCL (XML Stream Conjunctive Language): two XPath
+// tree-pattern blocks combined with a windowed join operator,
+//
+//	S//book->x1[.//author->x2][.//title->x3]
+//	  FOLLOWED BY{x2=x5 AND x3=x6, 100}
+//	S//blog->x4[.//author->x5][.//title->x6]
+//
+// meaning: report a book announcement followed within 100 time units by a
+// blog article whose author matches one of the book's authors and whose
+// title matches the book's title.
+//
+// The engine processes documents in two stages. Stage 1 evaluates all tree
+// patterns of all queries at once in a shared NFA (YFilter-style), producing
+// compact binary witness relations. Stage 2 partitions queries into
+// equivalence classes by query template (the isomorphism class of the graph
+// minor of the query's join graph) and evaluates one relational conjunctive
+// query per template, answering every member query simultaneously. With
+// hundreds of thousands of registered queries the system maintains a few
+// dozen templates, which is the source of its scalability.
+//
+// # Quick start
+//
+//	eng := mmqjp.New(mmqjp.Options{Processor: mmqjp.ProcessorViewMat})
+//	qid, err := eng.Subscribe(
+//	    "S//book->b[.//author->a] FOLLOWED BY{a=a2, 100} S//blog->g[.//author->a2]")
+//	...
+//	matches, err := eng.PublishXML("S", "<book>...</book>", docID, timestamp)
+//	for _, m := range matches { ... }
+//
+// See the examples directory for runnable programs, DESIGN.md for the
+// architecture, and EXPERIMENTS.md for the reproduction of the paper's
+// evaluation.
+package mmqjp

@@ -1,0 +1,347 @@
+package mmqjp
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/sequential"
+	"repro/internal/xmldoc"
+	"repro/internal/xscl"
+)
+
+// ProcessorKind selects the join processing strategy.
+type ProcessorKind int
+
+const (
+	// ProcessorMMQJP is template-based multi-query join processing
+	// (Algorithm 1 of the paper).
+	ProcessorMMQJP ProcessorKind = iota
+	// ProcessorViewMat is MMQJP with the Section-5 view materialization
+	// and per-string view cache (Algorithm 4). This is the recommended
+	// production mode.
+	ProcessorViewMat
+	// ProcessorSequential is the one-query-at-a-time baseline; it exists
+	// for benchmarking and differential testing.
+	ProcessorSequential
+)
+
+// Options configures an Engine.
+type Options struct {
+	// Processor selects the join strategy (default ProcessorViewMat).
+	Processor ProcessorKind
+	// ViewCacheCapacity bounds the number of cached view slices
+	// (0 = unbounded); only meaningful for ProcessorViewMat.
+	ViewCacheCapacity int
+	// RetainDocuments keeps processed documents in memory so that match
+	// outputs can be rendered as XML with Engine.OutputXML. Defaults to
+	// false: high-volume deployments usually only need match metadata.
+	RetainDocuments bool
+	// EnableComposition activates the PUBLISH clause: a match of a query
+	// with PUBLISH <name> is converted into its default output document
+	// (a result root with the two matched block subtrees) and processed
+	// as a new event on stream <name>, so queries can consume other
+	// queries' outputs. Implies RetainDocuments. Derived documents
+	// cascade up to MaxCompositionDepth levels.
+	EnableComposition bool
+}
+
+// MaxCompositionDepth bounds cascading through PUBLISH streams, guarding
+// against cyclic query networks.
+const MaxCompositionDepth = 16
+
+// QueryID identifies a subscription.
+type QueryID int64
+
+// Match is one query result delivered to the subscriber: the query that
+// fired and the two documents (by id and timestamp) that satisfied its join.
+// For single-block queries both sides refer to the same document.
+type Match struct {
+	Query   QueryID
+	Publish string // the query's PUBLISH stream name, if any
+
+	LeftDoc, RightDoc int64
+	LeftTS, RightTS   int64
+
+	leftRoot, rightRoot xmldoc.NodeID
+}
+
+// Engine is an XML publish/subscribe engine: register XSCL subscriptions,
+// publish documents, receive matches.
+type Engine struct {
+	opts Options
+	proc *core.Processor       // nil when Sequential
+	seq  *sequential.Processor // nil otherwise
+
+	queries []*xscl.Query
+	docs    map[xmldoc.DocID]*xmldoc.Document
+
+	// nextDerived allocates ids for documents synthesized by query
+	// composition, well away from caller-assigned ids.
+	nextDerived int64
+	// droppedCascades counts derived documents discarded at
+	// MaxCompositionDepth (a symptom of a cyclic query network).
+	droppedCascades int64
+}
+
+// New creates an engine.
+func New(opts Options) *Engine {
+	if opts.EnableComposition {
+		opts.RetainDocuments = true
+	}
+	e := &Engine{opts: opts, docs: map[xmldoc.DocID]*xmldoc.Document{}, nextDerived: 1 << 40}
+	switch opts.Processor {
+	case ProcessorSequential:
+		e.seq = sequential.NewProcessor()
+	default:
+		e.proc = core.NewProcessor(core.Config{
+			ViewMaterialization: opts.Processor == ProcessorViewMat,
+			ViewCacheCapacity:   opts.ViewCacheCapacity,
+			RetainDocuments:     opts.RetainDocuments,
+		})
+	}
+	return e
+}
+
+// Subscribe parses and registers an XSCL query, returning its id.
+func (e *Engine) Subscribe(src string) (QueryID, error) {
+	q, err := xscl.Parse(src)
+	if err != nil {
+		return 0, err
+	}
+	return e.subscribe(q)
+}
+
+// MustSubscribe is Subscribe, panicking on error (examples, tests).
+func (e *Engine) MustSubscribe(src string) QueryID {
+	id, err := e.Subscribe(src)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+func (e *Engine) subscribe(q *xscl.Query) (QueryID, error) {
+	var id QueryID
+	if e.seq != nil {
+		sid, err := e.seq.Register(q)
+		if err != nil {
+			return 0, err
+		}
+		id = QueryID(sid)
+	} else {
+		cid, err := e.proc.Register(q)
+		if err != nil {
+			return 0, err
+		}
+		id = QueryID(cid)
+	}
+	e.queries = append(e.queries, q)
+	return id, nil
+}
+
+// Query returns the source text of a subscription.
+func (e *Engine) Query(id QueryID) string { return e.queries[id].Source }
+
+// NumQueries returns the number of subscriptions.
+func (e *Engine) NumQueries() int { return len(e.queries) }
+
+// NumTemplates returns the number of distinct query templates maintained by
+// the join processor (0 in sequential mode, where there is no sharing).
+func (e *Engine) NumTemplates() int {
+	if e.proc == nil {
+		return 0
+	}
+	return e.proc.NumTemplates()
+}
+
+// Publish processes a document on the named stream and returns the matches
+// it triggered, in deterministic order. With composition enabled, matches of
+// PUBLISH queries cascade into their output streams and the derived matches
+// are included in the result.
+func (e *Engine) Publish(stream string, d *Document) []Match {
+	return e.publish(stream, d, 0)
+}
+
+func (e *Engine) publish(stream string, d *Document, depth int) []Match {
+	if e.opts.RetainDocuments {
+		e.docs[d.ID] = d
+	}
+	var out []Match
+	if e.seq != nil {
+		for _, m := range e.seq.Process(stream, d) {
+			out = append(out, Match{
+				Query:   QueryID(m.Query),
+				Publish: e.queries[m.Query].Publish,
+				LeftDoc: int64(m.LeftDoc), RightDoc: int64(m.RightDoc),
+				LeftTS: int64(m.LeftTS), RightTS: int64(m.RightTS),
+				leftRoot: m.LeftRoot, rightRoot: m.RightRoot,
+			})
+		}
+	} else {
+		for _, m := range e.proc.Process(stream, d) {
+			out = append(out, Match{
+				Query:   QueryID(m.Query),
+				Publish: e.queries[m.Query].Publish,
+				LeftDoc: int64(m.LeftDoc), RightDoc: int64(m.RightDoc),
+				LeftTS: int64(m.LeftTS), RightTS: int64(m.RightTS),
+				leftRoot: m.LeftRoot, rightRoot: m.RightRoot,
+			})
+		}
+	}
+	if !e.opts.EnableComposition {
+		return out
+	}
+	// Cascade: republish each PUBLISH match as a derived document.
+	for _, m := range out {
+		if m.Publish == "" {
+			continue
+		}
+		if depth >= MaxCompositionDepth {
+			e.droppedCascades++
+			continue
+		}
+		derived, ok := e.deriveDocument(m)
+		if !ok {
+			continue
+		}
+		out = append(out, e.publish(m.Publish, derived, depth+1)...)
+	}
+	return out
+}
+
+// DroppedCascades reports derived documents discarded at the composition
+// depth limit since the engine was created.
+func (e *Engine) DroppedCascades() int64 { return e.droppedCascades }
+
+// deriveDocument builds the default SELECT * output document of a match: a
+// result root whose children are copies of the two matched subtrees. The
+// subtrees are rooted at the template side roots — equal to the paper's
+// block roots whenever the block root is the least common ancestor of the
+// value-joined variables (always true for queries with two or more
+// predicates on different branches); for single-predicate queries the
+// output carries the joined leaf's subtree. The derived document's
+// timestamp is the triggering (later) event time.
+func (e *Engine) deriveDocument(m Match) (*Document, bool) {
+	ld := e.docs[xmldoc.DocID(m.LeftDoc)]
+	rd := e.docs[xmldoc.DocID(m.RightDoc)]
+	if ld == nil || rd == nil {
+		return nil, false
+	}
+	ts := m.RightTS
+	if m.LeftTS > ts {
+		ts = m.LeftTS
+	}
+	e.nextDerived++
+	b := xmldoc.NewBuilder(xmldoc.DocID(e.nextDerived), xmldoc.Timestamp(ts), "result")
+	copySubtree(b, 0, ld, m.leftRoot)
+	if m.LeftDoc != m.RightDoc || m.leftRoot != m.rightRoot {
+		copySubtree(b, 0, rd, m.rightRoot)
+	}
+	return b.Build(), true
+}
+
+// copySubtree copies the subtree of src rooted at node under parent in b.
+func copySubtree(b *xmldoc.Builder, parent xmldoc.NodeID, src *xmldoc.Document, node xmldoc.NodeID) {
+	n := src.Node(node)
+	if n.Kind == xmldoc.AttributeNode {
+		b.Attribute(parent, n.Name, src.StringValue(node))
+		return
+	}
+	id := b.Element(parent, n.Name, src.Text(node))
+	for _, c := range n.Children {
+		copySubtree(b, id, src, c)
+	}
+}
+
+// PublishXML parses an XML document and publishes it.
+func (e *Engine) PublishXML(stream, xmlText string, docID, timestamp int64) ([]Match, error) {
+	d, err := xmldoc.ParseString(xmlText, xmldoc.DocID(docID), xmldoc.Timestamp(timestamp))
+	if err != nil {
+		return nil, err
+	}
+	return e.Publish(stream, d), nil
+}
+
+// OutputXML renders the default SELECT * output document of a match: a new
+// root whose two subtrees are the matched block roots from the two joined
+// documents. It requires Options.RetainDocuments; otherwise ok is false.
+func (e *Engine) OutputXML(m Match) (xml string, ok bool) {
+	ld := e.docs[xmldoc.DocID(m.LeftDoc)]
+	rd := e.docs[xmldoc.DocID(m.RightDoc)]
+	if ld == nil || rd == nil {
+		return "", false
+	}
+	var sb strings.Builder
+	sb.WriteString("<result>")
+	sb.WriteString(subtreeXML(ld, m.leftRoot))
+	if m.LeftDoc != m.RightDoc || m.leftRoot != m.rightRoot {
+		sb.WriteString(subtreeXML(rd, m.rightRoot))
+	}
+	sb.WriteString("</result>")
+	return sb.String(), true
+}
+
+// Stats returns a human-readable summary of processing cost so far.
+func (e *Engine) Stats() string {
+	if e.seq != nil {
+		return fmt.Sprintf("sequential: %d queries, join time %v", e.seq.NumQueries(), e.seq.JoinTime())
+	}
+	s := e.proc.Stats()
+	return fmt.Sprintf("mmqjp: %d queries, %d templates, %d docs, %d matches, xpath %v, witness %v, rvj %v, rl %v, rr %v, cq %v, maintain %v",
+		e.proc.NumQueries(), e.proc.NumTemplates(), s.Documents, s.Matches,
+		s.XPath, s.Witness, s.Rvj, s.RL, s.RR, s.CQ, s.Maintain)
+}
+
+// Document is a parsed XML document with stream metadata. Construct one with
+// ParseDocument or NewDocumentBuilder.
+type Document = xmldoc.Document
+
+// DocumentBuilder constructs documents programmatically.
+type DocumentBuilder = xmldoc.Builder
+
+// ParseDocument parses XML text into a publishable document.
+func ParseDocument(xmlText string, docID, timestamp int64) (*Document, error) {
+	return xmldoc.ParseString(xmlText, xmldoc.DocID(docID), xmldoc.Timestamp(timestamp))
+}
+
+// NewDocumentBuilder returns a builder for a document with the given root
+// element.
+func NewDocumentBuilder(docID, timestamp int64, rootName string) *DocumentBuilder {
+	return xmldoc.NewBuilder(xmldoc.DocID(docID), xmldoc.Timestamp(timestamp), rootName)
+}
+
+// subtreeXML serializes the subtree rooted at id.
+func subtreeXML(d *xmldoc.Document, id xmldoc.NodeID) string {
+	var sb strings.Builder
+	writeSubtree(&sb, d, id)
+	return sb.String()
+}
+
+func writeSubtree(sb *strings.Builder, d *xmldoc.Document, id xmldoc.NodeID) {
+	n := d.Node(id)
+	if n.Kind == xmldoc.AttributeNode {
+		fmt.Fprintf(sb, "<attr name=%q>%s</attr>", n.Name, d.StringValue(id))
+		return
+	}
+	sb.WriteByte('<')
+	sb.WriteString(n.Name)
+	for _, c := range n.Children {
+		cn := d.Node(c)
+		if cn.Kind == xmldoc.AttributeNode {
+			fmt.Fprintf(sb, " %s=%q", cn.Name, d.StringValue(c))
+		}
+	}
+	sb.WriteByte('>')
+	if d.IsLeaf(id) {
+		sb.WriteString(d.StringValue(id))
+	}
+	for _, c := range n.Children {
+		if d.Node(c).Kind == xmldoc.ElementNode {
+			writeSubtree(sb, d, c)
+		}
+	}
+	sb.WriteString("</")
+	sb.WriteString(n.Name)
+	sb.WriteByte('>')
+}

@@ -1,0 +1,299 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Template identity is graph isomorphism of reduced join graphs. The graphs
+// are small (two trees plus cross value-join edges, a dozen nodes at most),
+// so we use textbook colour refinement with individualization backtracking:
+// refine node colours to a fixed point; if classes remain non-singleton,
+// individualize each member of the first tied class in turn and recurse;
+// the canonical form is the lexicographically smallest serialization.
+//
+// The serialization orders nodes by final colour and lists, per node, its
+// side, its parent's position and its value-join partners' positions; two
+// reduced join graphs are isomorphic exactly when their canonical forms are
+// equal.
+
+// canonGraph is the flattened reduced join graph handed to the canonicalizer.
+type canonGraph struct {
+	n      int
+	side   []uint8 // 0 = left, 1 = right
+	parent []int   // -1 for side roots
+	vj     [][]int // value-join adjacency (sorted)
+	kids   [][]int
+}
+
+// flatten merges the two sides of a reduced join graph into one node space:
+// left nodes first, then right nodes.
+func flatten(g *JoinGraph) *canonGraph {
+	nl := len(g.LeftSide.Nodes)
+	n := nl + len(g.RightSide.Nodes)
+	cg := &canonGraph{
+		n:      n,
+		side:   make([]uint8, n),
+		parent: make([]int, n),
+		vj:     make([][]int, n),
+		kids:   make([][]int, n),
+	}
+	for i, nd := range g.LeftSide.Nodes {
+		cg.side[i] = 0
+		cg.parent[i] = nd.Parent
+	}
+	for i, nd := range g.RightSide.Nodes {
+		cg.side[nl+i] = 1
+		if nd.Parent >= 0 {
+			cg.parent[nl+i] = nl + nd.Parent
+		} else {
+			cg.parent[nl+i] = -1
+		}
+	}
+	for _, e := range g.VJ {
+		cg.vj[e.L] = append(cg.vj[e.L], nl+e.R)
+		cg.vj[nl+e.R] = append(cg.vj[nl+e.R], e.L)
+	}
+	for i := 0; i < n; i++ {
+		sort.Ints(cg.vj[i])
+		if p := cg.parent[i]; p >= 0 {
+			cg.kids[p] = append(cg.kids[p], i)
+		}
+	}
+	return cg
+}
+
+// refine iterates colour refinement to a fixed point. The colour of a node
+// combines its previous colour with the colour multisets of its parent,
+// children and value-join partners.
+func (g *canonGraph) refine(colors []int) []int {
+	for {
+		sigs := make([]string, g.n)
+		for i := 0; i < g.n; i++ {
+			var sb strings.Builder
+			fmt.Fprintf(&sb, "%d|", colors[i])
+			if p := g.parent[i]; p >= 0 {
+				fmt.Fprintf(&sb, "p%d|", colors[p])
+			} else {
+				sb.WriteString("p-|")
+			}
+			sb.WriteString(multiset(colors, g.kids[i]))
+			sb.WriteByte('|')
+			sb.WriteString(multiset(colors, g.vj[i]))
+			sigs[i] = sb.String()
+		}
+		next, classes := densify(sigs)
+		if classes == countClasses(colors) {
+			return next
+		}
+		colors = next
+	}
+}
+
+func multiset(colors, idx []int) string {
+	cs := make([]int, len(idx))
+	for i, j := range idx {
+		cs[i] = colors[j]
+	}
+	sort.Ints(cs)
+	return fmt.Sprint(cs)
+}
+
+// densify maps signature strings to dense colour ids ordered by signature,
+// so colour ids are isomorphism-invariant.
+func densify(sigs []string) ([]int, int) {
+	uniq := append([]string(nil), sigs...)
+	sort.Strings(uniq)
+	uniq = dedupStrings(uniq)
+	rank := make(map[string]int, len(uniq))
+	for i, s := range uniq {
+		rank[s] = i
+	}
+	out := make([]int, len(sigs))
+	for i, s := range sigs {
+		out[i] = rank[s]
+	}
+	return out, len(uniq)
+}
+
+func dedupStrings(s []string) []string {
+	out := s[:0]
+	for i, v := range s {
+		if i == 0 || v != s[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func countClasses(colors []int) int {
+	seen := map[int]bool{}
+	for _, c := range colors {
+		seen[c] = true
+	}
+	return len(seen)
+}
+
+// Canonicalize computes the canonical form of a reduced join graph: the
+// canonical signature string (equal exactly for isomorphic graphs) and the
+// canonical node order (position -> flattened node index, left nodes being
+// 0..len(left)-1).
+func Canonicalize(g *JoinGraph) (string, []int) {
+	cg := flatten(g)
+	init := make([]int, cg.n)
+	for i := range init {
+		// Initial colour: side and depth.
+		init[i] = int(cg.side[i])*64 + depthIn(cg, i)
+	}
+	init, _ = densifyInts(init)
+	colors := cg.refine(init)
+	sig, order := cg.search(colors)
+	return sig, order
+}
+
+func depthIn(g *canonGraph, i int) int {
+	d := 0
+	for p := g.parent[i]; p >= 0; p = g.parent[p] {
+		d++
+	}
+	return d
+}
+
+func densifyInts(colors []int) ([]int, int) {
+	uniq := append([]int(nil), colors...)
+	sort.Ints(uniq)
+	u := uniq[:0]
+	for i, v := range uniq {
+		if i == 0 || v != uniq[i-1] {
+			u = append(u, v)
+		}
+	}
+	rank := map[int]int{}
+	for i, v := range u {
+		rank[v] = i
+	}
+	out := make([]int, len(colors))
+	for i, c := range colors {
+		out[i] = rank[c]
+	}
+	return out, len(u)
+}
+
+// search individualizes tied colour classes and returns the minimal
+// serialization with its node order.
+func (g *canonGraph) search(colors []int) (string, []int) {
+	// Find the first non-singleton class (smallest colour value).
+	classOf := map[int][]int{}
+	for i, c := range colors {
+		classOf[c] = append(classOf[c], i)
+	}
+	target := -1
+	for c := 0; c < g.n; c++ {
+		if len(classOf[c]) > 1 {
+			target = c
+			break
+		}
+	}
+	if target == -1 {
+		return g.serialize(colors)
+	}
+	bestSig := ""
+	var bestOrder []int
+	for _, node := range g.orbitRepresentatives(classOf[target], colors) {
+		ind := make([]int, g.n)
+		for i, c := range colors {
+			// Individualize: give node a colour just below its
+			// class, shifting everything else up.
+			ind[i] = 2 * c
+		}
+		ind[node]--
+		ind, _ = densifyInts(ind)
+		refined := g.refine(ind)
+		sig, order := g.search(refined)
+		if bestSig == "" || sig < bestSig {
+			bestSig, bestOrder = sig, order
+		}
+	}
+	return bestSig, bestOrder
+}
+
+// orbitRepresentatives prunes a tied colour class to one representative per
+// provable automorphism orbit. Without pruning, the k leaves of a fully
+// symmetric parallel matching (k value joins wiring k identical left leaves
+// to k identical right leaves — the most common generated query shape) force
+// a k! search.
+//
+// The certificate is deliberately narrow and sound: nodes c and c' are
+// merged only when both are childless, have exactly one value-join partner
+// each, the partners are distinct childless nodes with exactly one partner,
+// c and c' share a tree parent, and the partners share a tree parent. Under
+// those conditions the transposition (c c')(p_c p_c') maps every edge of the
+// graph to an edge, i.e. it is an automorphism, so the two individualization
+// branches produce identical canonical forms and one can be skipped.
+func (g *canonGraph) orbitRepresentatives(class []int, colors []int) []int {
+	reps := []int{class[0]}
+	for _, c := range class[1:] {
+		merged := false
+		for _, r := range reps {
+			if g.swappable(r, c, colors) {
+				merged = true
+				break
+			}
+		}
+		if !merged {
+			reps = append(reps, c)
+		}
+	}
+	return reps
+}
+
+func (g *canonGraph) swappable(a, b int, colors []int) bool {
+	if len(g.kids[a]) != 0 || len(g.kids[b]) != 0 {
+		return false
+	}
+	if len(g.vj[a]) != 1 || len(g.vj[b]) != 1 {
+		return false
+	}
+	pa, pb := g.vj[a][0], g.vj[b][0]
+	if pa == pb {
+		return false // a fan: the partner cannot be swapped with itself
+	}
+	if len(g.vj[pa]) != 1 || len(g.vj[pb]) != 1 {
+		return false
+	}
+	if len(g.kids[pa]) != 0 || len(g.kids[pb]) != 0 {
+		return false
+	}
+	if g.parent[a] != g.parent[b] || g.parent[pa] != g.parent[pb] {
+		return false
+	}
+	// The swap must also respect the current colouring of the partners
+	// (a and b are same-colour by construction).
+	return colors[pa] == colors[pb]
+}
+
+// serialize renders the graph under a discrete colouring (total order).
+func (g *canonGraph) serialize(colors []int) (string, []int) {
+	order := make([]int, g.n) // position -> node
+	pos := make([]int, g.n)   // node -> position
+	for i, c := range colors {
+		order[c] = i
+		pos[i] = c
+	}
+	var sb strings.Builder
+	for p := 0; p < g.n; p++ {
+		node := order[p]
+		par := -1
+		if g.parent[node] >= 0 {
+			par = pos[g.parent[node]]
+		}
+		partners := make([]int, len(g.vj[node]))
+		for i, q := range g.vj[node] {
+			partners[i] = pos[q]
+		}
+		sort.Ints(partners)
+		fmt.Fprintf(&sb, "%d:s%d,p%d,vj%v;", p, g.side[node], par, partners)
+	}
+	return sb.String(), order
+}

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/xpath"
+)
+
+// randomReduced builds a random reduced-join-graph shape directly: two trees
+// of depth ≤ 3 whose leaves are joined by random cross edges.
+func randomReduced(rng *rand.Rand) *JoinGraph {
+	g := &JoinGraph{}
+	buildSideTree := func(s *SideGraph) []int {
+		n := 1 + rng.Intn(5)
+		var leaves []int
+		s.Nodes = append(s.Nodes, JGNode{Parent: -1, PatternNode: &xpath.PatternNode{}})
+		for i := 1; i < n; i++ {
+			parent := rng.Intn(len(s.Nodes))
+			s.Nodes = append(s.Nodes, JGNode{Parent: parent, PatternNode: &xpath.PatternNode{}})
+			s.Nodes[parent].Children = append(s.Nodes[parent].Children, i)
+		}
+		for i := range s.Nodes {
+			if len(s.Nodes[i].Children) == 0 {
+				leaves = append(leaves, i)
+			}
+		}
+		return leaves
+	}
+	ll := buildSideTree(&g.LeftSide)
+	rl := buildSideTree(&g.RightSide)
+	ne := 1 + rng.Intn(4)
+	seen := map[[2]int]bool{}
+	for i := 0; i < ne; i++ {
+		e := VJEdge{L: ll[rng.Intn(len(ll))], R: rl[rng.Intn(len(rl))]}
+		if !seen[[2]int{e.L, e.R}] {
+			seen[[2]int{e.L, e.R}] = true
+			g.VJ = append(g.VJ, e)
+		}
+	}
+	return g
+}
+
+// permuteGraph relabels the nodes of each side with a random permutation
+// that maps the root to the root (parent structure is rebuilt accordingly),
+// producing an isomorphic graph.
+func permuteGraph(rng *rand.Rand, g *JoinGraph) *JoinGraph {
+	out := &JoinGraph{}
+	permSide := func(in *SideGraph, os *SideGraph) []int {
+		n := len(in.Nodes)
+		// A valid relabeling must keep parents before children is NOT
+		// required by our representation (Parent is an index), but
+		// JGNode.Children must be consistent. Build an arbitrary
+		// permutation fixing nothing.
+		perm := rng.Perm(n)
+		os.Nodes = make([]JGNode, n)
+		for old, nw := range perm {
+			p := in.Nodes[old].Parent
+			np := -1
+			if p >= 0 {
+				np = perm[p]
+			}
+			os.Nodes[nw] = JGNode{Parent: np, PatternNode: in.Nodes[old].PatternNode}
+		}
+		for i := range os.Nodes {
+			if p := os.Nodes[i].Parent; p >= 0 {
+				os.Nodes[p].Children = append(os.Nodes[p].Children, i)
+			}
+		}
+		return perm
+	}
+	lp := permSide(&g.LeftSide, &out.LeftSide)
+	rp := permSide(&g.RightSide, &out.RightSide)
+	for _, e := range g.VJ {
+		out.VJ = append(out.VJ, VJEdge{L: lp[e.L], R: rp[e.R]})
+	}
+	// Shuffle the edge list too.
+	rng.Shuffle(len(out.VJ), func(i, j int) { out.VJ[i], out.VJ[j] = out.VJ[j], out.VJ[i] })
+	return out
+}
+
+func TestPropertyCanonicalInvariantUnderRelabeling(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 400; trial++ {
+		g := randomReduced(rng)
+		sig1, _ := Canonicalize(g)
+		for i := 0; i < 3; i++ {
+			h := permuteGraph(rng, g)
+			sig2, _ := Canonicalize(h)
+			if sig1 != sig2 {
+				t.Fatalf("trial %d: relabeling changed the signature:\n%s\nvs\n%s", trial, sig1, sig2)
+			}
+		}
+	}
+}
+
+func TestCanonicalDistinguishesSides(t *testing.T) {
+	// A 2-left/1-right graph vs its mirror must differ.
+	g := &JoinGraph{}
+	g.LeftSide.Nodes = []JGNode{
+		{Parent: -1, Children: []int{1, 2}, PatternNode: &xpath.PatternNode{}},
+		{Parent: 0, PatternNode: &xpath.PatternNode{}},
+		{Parent: 0, PatternNode: &xpath.PatternNode{}},
+	}
+	g.RightSide.Nodes = []JGNode{{Parent: -1, PatternNode: &xpath.PatternNode{}}}
+	g.VJ = []VJEdge{{L: 1, R: 0}, {L: 2, R: 0}}
+
+	m := &JoinGraph{LeftSide: g.RightSide, RightSide: g.LeftSide}
+	m.VJ = []VJEdge{{L: 0, R: 1}, {L: 0, R: 2}}
+
+	s1, _ := Canonicalize(g)
+	s2, _ := Canonicalize(m)
+	if s1 == s2 {
+		t.Errorf("mirrored graphs share a signature")
+	}
+}
+
+func TestCanonicalOrderIsPermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(88))
+	for trial := 0; trial < 100; trial++ {
+		g := randomReduced(rng)
+		_, order := Canonicalize(g)
+		n := len(g.LeftSide.Nodes) + len(g.RightSide.Nodes)
+		if len(order) != n {
+			t.Fatalf("order length %d, want %d", len(order), n)
+		}
+		seen := make([]bool, n)
+		for _, v := range order {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("order not a permutation: %v", order)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestCanonicalSymmetricGraphStable(t *testing.T) {
+	// A fully symmetric graph (k parallel value joins between k leaves
+	// under each root) exercises the individualization search.
+	for k := 1; k <= 5; k++ {
+		g := &JoinGraph{}
+		g.LeftSide.Nodes = append(g.LeftSide.Nodes, JGNode{Parent: -1, PatternNode: &xpath.PatternNode{}})
+		g.RightSide.Nodes = append(g.RightSide.Nodes, JGNode{Parent: -1, PatternNode: &xpath.PatternNode{}})
+		for i := 1; i <= k; i++ {
+			g.LeftSide.Nodes = append(g.LeftSide.Nodes, JGNode{Parent: 0, PatternNode: &xpath.PatternNode{}})
+			g.LeftSide.Nodes[0].Children = append(g.LeftSide.Nodes[0].Children, i)
+			g.RightSide.Nodes = append(g.RightSide.Nodes, JGNode{Parent: 0, PatternNode: &xpath.PatternNode{}})
+			g.RightSide.Nodes[0].Children = append(g.RightSide.Nodes[0].Children, i)
+			g.VJ = append(g.VJ, VJEdge{L: i, R: i})
+		}
+		sig1, _ := Canonicalize(g)
+		rng := rand.New(rand.NewSource(int64(k)))
+		sig2, _ := Canonicalize(permuteGraph(rng, g))
+		if sig1 != sig2 {
+			t.Errorf("k=%d: symmetric graph signature unstable", k)
+		}
+	}
+}

@@ -1,0 +1,319 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/sequential"
+	"repro/internal/xmldoc"
+	"repro/internal/xscl"
+)
+
+// The differential test: on random workloads, the match sets of
+//
+//   - MMQJP (Algorithm 1),
+//   - MMQJP with view materialization (Algorithm 4), with and without a
+//     tight view-cache capacity, and
+//   - the Sequential baseline (per-query nested loops over Stage-1
+//     witnesses)
+//
+// must coincide. Matches are compared as sets of (query, leftDoc, rightDoc):
+// MMQJP emits one match per RoutT row (template-node binding combination)
+// while Sequential emits one per witness pair, so multiplicities may differ
+// on patterns with non-template bound nodes; the (query, doc-pair) set is
+// the invariant.
+
+type matchKey struct {
+	q          int64
+	ldoc, rdoc int64
+}
+
+func matchSet(ms []Match) map[matchKey]bool {
+	out := map[matchKey]bool{}
+	for _, m := range ms {
+		out[matchKey{int64(m.Query), int64(m.LeftDoc), int64(m.RightDoc)}] = true
+	}
+	return out
+}
+
+func seqMatchSet(ms []sequential.Match) map[matchKey]bool {
+	out := map[matchKey]bool{}
+	for _, m := range ms {
+		out[matchKey{int64(m.Query), int64(m.LeftDoc), int64(m.RightDoc)}] = true
+	}
+	return out
+}
+
+// randomFlatDoc builds a two-level document with nLeaves leaves drawn from
+// leafNames and values from a small domain (forcing value collisions).
+func randomFlatDoc(rng *rand.Rand, id xmldoc.DocID, ts xmldoc.Timestamp, leafNames []string, domain int) *xmldoc.Document {
+	b := xmldoc.NewBuilder(id, ts, "item")
+	n := 1 + rng.Intn(len(leafNames))
+	perm := rng.Perm(len(leafNames))
+	for i := 0; i < n; i++ {
+		b.Element(0, leafNames[perm[i]], fmt.Sprintf("val%d", rng.Intn(domain)))
+	}
+	return b.Build()
+}
+
+// randomDeepDoc builds a three-level document: intermediates m0..m2, each
+// with leaves.
+func randomDeepDoc(rng *rand.Rand, id xmldoc.DocID, ts xmldoc.Timestamp, domain int) *xmldoc.Document {
+	b := xmldoc.NewBuilder(id, ts, "item")
+	for m := 0; m < 2+rng.Intn(2); m++ {
+		mid := b.Element(0, fmt.Sprintf("m%d", rng.Intn(3)), "")
+		for l := 0; l < 1+rng.Intn(3); l++ {
+			b.Element(mid, fmt.Sprintf("l%d", rng.Intn(4)), fmt.Sprintf("val%d", rng.Intn(domain)))
+		}
+	}
+	return b.Build()
+}
+
+// randomFlatQuery builds a query joining k random leaves of the flat schema.
+func randomFlatQuery(rng *rand.Rand, leafNames []string, maxK int, window int64, op string) *xscl.Query {
+	k := 1 + rng.Intn(maxK)
+	if k > len(leafNames) {
+		k = len(leafNames)
+	}
+	lperm := rng.Perm(len(leafNames))[:k]
+	rperm := rng.Perm(len(leafNames))[:k]
+	lhs, rhs, pred := "S//item->v0", "S//item->w0", ""
+	for i := 0; i < k; i++ {
+		lhs += fmt.Sprintf("[.//%s->v%d]", leafNames[lperm[i]], i+1)
+		rhs += fmt.Sprintf("[.//%s->w%d]", leafNames[rperm[i]], i+1)
+		if pred != "" {
+			pred += " AND "
+		}
+		pred += fmt.Sprintf("v%d=w%d", i+1, i+1)
+	}
+	return xscl.MustParse(fmt.Sprintf("%s %s{%s, %d} %s", lhs, op, pred, window, rhs))
+}
+
+// randomDeepQuery builds a query over the three-level schema, joining leaves
+// under intermediates.
+func randomDeepQuery(rng *rand.Rand, maxK int, window int64, op string) *xscl.Query {
+	k := 1 + rng.Intn(maxK)
+	side := func(pfx string) (string, []string) {
+		s := fmt.Sprintf("S//item->%s0", pfx)
+		var vars []string
+		for i := 0; i < k; i++ {
+			m := rng.Intn(3)
+			l := rng.Intn(4)
+			v := fmt.Sprintf("%s%d", pfx, i+1)
+			s += fmt.Sprintf("[.//m%d[.//l%d->%s]]", m, l, v)
+			vars = append(vars, v)
+		}
+		return s, vars
+	}
+	lhs, lv := side("v")
+	rhs, rv := side("w")
+	pred := ""
+	for i := 0; i < k; i++ {
+		if pred != "" {
+			pred += " AND "
+		}
+		pred += fmt.Sprintf("%s=%s", lv[i], rv[i])
+	}
+	return xscl.MustParse(fmt.Sprintf("%s %s{%s, %d} %s", lhs, op, pred, window, rhs))
+}
+
+func runDifferentialTrial(t *testing.T, rng *rand.Rand, deep bool, trial int) {
+	leafNames := []string{"a", "b", "c", "d", "e"}
+	nQueries := 1 + rng.Intn(8)
+	nDocs := 2 + rng.Intn(10)
+	domain := 1 + rng.Intn(3)
+	ops := []string{"FOLLOWED BY", "JOIN"}
+
+	var queries []*xscl.Query
+	for i := 0; i < nQueries; i++ {
+		window := int64(1 + rng.Intn(50))
+		op := ops[rng.Intn(2)]
+		if deep {
+			queries = append(queries, randomDeepQuery(rng, 3, window, op))
+		} else {
+			queries = append(queries, randomFlatQuery(rng, leafNames, 3, window, op))
+		}
+	}
+	var docs []*xmldoc.Document
+	ts := xmldoc.Timestamp(0)
+	for i := 0; i < nDocs; i++ {
+		ts += xmldoc.Timestamp(rng.Intn(20))
+		if deep {
+			docs = append(docs, randomDeepDoc(rng, xmldoc.DocID(i+1), ts, domain))
+		} else {
+			docs = append(docs, randomFlatDoc(rng, xmldoc.DocID(i+1), ts, leafNames, domain))
+		}
+	}
+
+	configs := []Config{
+		{},
+		{ViewMaterialization: true},
+		{ViewMaterialization: true, ViewCacheCapacity: 2},
+	}
+	var results []map[matchKey]bool
+	for _, cfg := range configs {
+		p := NewProcessor(cfg)
+		for _, q := range queries {
+			p.MustRegister(q)
+		}
+		all := map[matchKey]bool{}
+		for _, d := range docs {
+			for k := range matchSet(p.Process("S", d)) {
+				all[k] = true
+			}
+		}
+		results = append(results, all)
+	}
+
+	sp := sequential.NewProcessor()
+	for _, q := range queries {
+		sp.MustRegister(q)
+	}
+	seqAll := map[matchKey]bool{}
+	for _, d := range docs {
+		for k := range seqMatchSet(sp.Process("S", d)) {
+			seqAll[k] = true
+		}
+	}
+
+	for i := 1; i < len(results); i++ {
+		if !reflect.DeepEqual(results[0], results[i]) {
+			t.Fatalf("trial %d (deep=%v): config %d diverges from basic:\nbasic: %v\nother: %v\nqueries: %s",
+				trial, deep, i, keys(results[0]), keys(results[i]), querySources(queries))
+		}
+	}
+	if !reflect.DeepEqual(results[0], seqAll) {
+		t.Fatalf("trial %d (deep=%v): MMQJP vs Sequential:\nmmqjp: %v\nseq:   %v\nqueries: %s\ndocs: %s",
+			trial, deep, keys(results[0]), keys(seqAll), querySources(queries), docDump(docs))
+	}
+}
+
+func keys(m map[matchKey]bool) []string {
+	var out []string
+	for k := range m {
+		out = append(out, fmt.Sprintf("q%d:%d->%d", k.q, k.ldoc, k.rdoc))
+	}
+	sort.Strings(out)
+	return out
+}
+
+func querySources(qs []*xscl.Query) string {
+	s := ""
+	for i, q := range qs {
+		s += fmt.Sprintf("\n  q%d: %s", i, q)
+	}
+	return s
+}
+
+func docDump(ds []*xmldoc.Document) string {
+	s := ""
+	for _, d := range ds {
+		s += fmt.Sprintf("\n  doc %d ts %d: %s", d.ID, d.Timestamp, d.XMLText())
+	}
+	return s
+}
+
+func TestDifferentialFlatSchema(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 120; trial++ {
+		runDifferentialTrial(t, rng, false, trial)
+	}
+}
+
+func TestDifferentialDeepSchema(t *testing.T) {
+	rng := rand.New(rand.NewSource(202))
+	for trial := 0; trial < 80; trial++ {
+		runDifferentialTrial(t, rng, true, trial)
+	}
+}
+
+func TestDifferentialLongStreamWithGC(t *testing.T) {
+	// Longer stream with small windows so GC kicks in for both systems.
+	rng := rand.New(rand.NewSource(303))
+	leafNames := []string{"a", "b", "c"}
+	var queries []*xscl.Query
+	for i := 0; i < 5; i++ {
+		queries = append(queries, randomFlatQuery(rng, leafNames, 2, int64(5+rng.Intn(20)), "FOLLOWED BY"))
+	}
+	p := NewProcessor(Config{ViewMaterialization: true, ViewCacheCapacity: 4})
+	pb := NewProcessor(Config{})
+	sp := sequential.NewProcessor()
+	for _, q := range queries {
+		p.MustRegister(q)
+		pb.MustRegister(q)
+		sp.MustRegister(q)
+	}
+	ts := xmldoc.Timestamp(0)
+	for i := 0; i < 300; i++ {
+		ts += xmldoc.Timestamp(rng.Intn(4))
+		d := randomFlatDoc(rng, xmldoc.DocID(i+1), ts, leafNames, 2)
+		a := matchSet(p.Process("S", d))
+		b := matchSet(pb.Process("S", d))
+		c := seqMatchSet(sp.Process("S", d))
+		if !reflect.DeepEqual(a, b) || !reflect.DeepEqual(a, c) {
+			t.Fatalf("doc %d: divergence:\nviewmat: %v\nbasic:   %v\nseq:     %v", i+1, keys(a), keys(b), keys(c))
+		}
+	}
+	// GC must have bounded the state.
+	if n := pb.State().NumDocs(); n > 150 {
+		t.Errorf("basic state holds %d docs, GC ineffective", n)
+	}
+}
+
+// TestDifferentialPlans forces the witness-driven and RT-driven physical
+// plans and checks they produce identical match sets (with PlanAuto as a
+// third participant), on flat and deep random workloads.
+func TestDifferentialPlans(t *testing.T) {
+	rng := rand.New(rand.NewSource(404))
+	leafNames := []string{"a", "b", "c", "d"}
+	for trial := 0; trial < 60; trial++ {
+		deep := trial%2 == 1
+		var queries []*xscl.Query
+		for i := 0; i < 1+rng.Intn(6); i++ {
+			window := int64(1 + rng.Intn(40))
+			if deep {
+				queries = append(queries, randomDeepQuery(rng, 3, window, "FOLLOWED BY"))
+			} else {
+				queries = append(queries, randomFlatQuery(rng, leafNames, 3, window, "JOIN"))
+			}
+		}
+		var docs []*xmldoc.Document
+		ts := xmldoc.Timestamp(0)
+		for i := 0; i < 2+rng.Intn(8); i++ {
+			ts += xmldoc.Timestamp(rng.Intn(15))
+			if deep {
+				docs = append(docs, randomDeepDoc(rng, xmldoc.DocID(i+1), ts, 2))
+			} else {
+				docs = append(docs, randomFlatDoc(rng, xmldoc.DocID(i+1), ts, leafNames, 2))
+			}
+		}
+		var results []map[matchKey]bool
+		for _, cfg := range []Config{
+			{Plan: PlanWitness},
+			{Plan: PlanRTDriven},
+			{Plan: PlanAuto},
+			{Plan: PlanRTDriven, ViewMaterialization: true},
+		} {
+			p := NewProcessor(cfg)
+			for _, q := range queries {
+				p.MustRegister(q)
+			}
+			all := map[matchKey]bool{}
+			for _, d := range docs {
+				for k := range matchSet(p.Process("S", d)) {
+					all[k] = true
+				}
+			}
+			results = append(results, all)
+		}
+		for i := 1; i < len(results); i++ {
+			if !reflect.DeepEqual(results[0], results[i]) {
+				t.Fatalf("trial %d (deep=%v): plan %d diverges:\nwitness: %v\nother:   %v\nqueries: %s\ndocs: %s",
+					trial, deep, i, keys(results[0]), keys(results[i]), querySources(queries), docDump(docs))
+			}
+		}
+	}
+}

@@ -1,0 +1,263 @@
+// Package core implements the paper's primary contribution: Massively
+// Multi-Query Join Processing (Sections 4 and 5).
+//
+// Queries are partitioned into equivalence classes by query template — the
+// isomorphism class of the graph minor of the query's join graph — and one
+// relational conjunctive query per template evaluates every member query at
+// once against the witness relations produced by Stage 1 (the shared XPath
+// evaluator). Section 5's view materialization (Rvj/RL/RR and the per-string
+// view cache) is implemented as an optional processor mode.
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/xpath"
+	"repro/internal/xscl"
+)
+
+// Side distinguishes the two query blocks of a join query.
+type Side uint8
+
+const (
+	// Left is the first (earlier, for FOLLOWED BY) block.
+	Left Side = iota
+	// Right is the second block.
+	Right
+)
+
+// JGNode is one node of a join graph side tree. It references the pattern
+// node it was derived from, so that reduced template nodes can be traced
+// back to Stage-1 bindings.
+type JGNode struct {
+	PatternNode *xpath.PatternNode
+	Canonical   string // canonical variable definition of the node
+	Parent      int    // index within the side, -1 for the root
+	Children    []int
+}
+
+// SideGraph is the tree of one side of a join graph.
+type SideGraph struct {
+	Nodes []JGNode // Nodes[0] is the root
+}
+
+// VJEdge is a value-join edge between a left node and a right node
+// (value-join normal form guarantees edges cross sides).
+type VJEdge struct {
+	L, R int // node indexes into the respective sides
+}
+
+// JoinGraph is the paper's join graph (Figure 4): two variable tree
+// patterns plus value-join edges.
+type JoinGraph struct {
+	LeftSide, RightSide SideGraph
+	VJ                  []VJEdge
+}
+
+// BuildJoinGraph constructs the join graph of a two-block query: each side
+// tree mirrors the block's full tree pattern, and each equality predicate
+// contributes one value-join edge. Duplicate predicates are dropped.
+func BuildJoinGraph(q *xscl.Query) (*JoinGraph, error) {
+	if q.Op == xscl.OpNone {
+		return nil, fmt.Errorf("core: single-block query has no join graph")
+	}
+	g := &JoinGraph{}
+	lIndex := buildSide(&g.LeftSide, q.Left)
+	rIndex := buildSide(&g.RightSide, q.Right)
+
+	seen := map[[2]int]bool{}
+	for _, p := range q.Preds {
+		ln := q.Left.VarNode(p.LeftVar)
+		rn := q.Right.VarNode(p.RightVar)
+		if ln == nil || rn == nil {
+			return nil, fmt.Errorf("core: predicate %s=%s references unbound variable", p.LeftVar, p.RightVar)
+		}
+		e := VJEdge{L: lIndex[ln.Index], R: rIndex[rn.Index]}
+		if seen[[2]int{e.L, e.R}] {
+			continue
+		}
+		seen[[2]int{e.L, e.R}] = true
+		g.VJ = append(g.VJ, e)
+	}
+	if len(g.VJ) == 0 {
+		return nil, fmt.Errorf("core: join query has no value joins")
+	}
+	return g, nil
+}
+
+// buildSide copies the pattern tree into the side graph and returns the map
+// from pattern node index to side node index.
+func buildSide(s *SideGraph, p *xpath.Pattern) []int {
+	idx := make([]int, len(p.Nodes))
+	for i, pn := range p.Nodes {
+		parent := -1
+		if pn.ParentIndex >= 0 {
+			parent = idx[pn.ParentIndex]
+		}
+		idx[i] = len(s.Nodes)
+		s.Nodes = append(s.Nodes, JGNode{
+			PatternNode: pn,
+			Canonical:   p.CanonicalVar(pn),
+			Parent:      parent,
+		})
+		if parent >= 0 {
+			s.Nodes[parent].Children = append(s.Nodes[parent].Children, idx[i])
+		}
+	}
+	return idx
+}
+
+// Minor applies the reduction rules of Section 4.2 to produce the join
+// graph minor from which the query template is derived:
+//
+//  1. recursively remove leaf nodes that participate in no value join;
+//  2. remove nodes outside the subtree rooted at the least common ancestor
+//     of the remaining (value-join) leaves;
+//  3. splice out intermediate nodes with a single child.
+//
+// When a side reduces to a single node (one value-join leaf, whose own LCA
+// is itself), the reduced graph has no structural edge on that side from
+// which the Join Processor could recover the leaf's variable identity; such
+// sides are served by the unary root-binding relations Rroot/RrootW instead
+// (see state.go and DESIGN.md).
+func (g *JoinGraph) Minor() *JoinGraph {
+	out := &JoinGraph{}
+	lmap := reduceSide(&g.LeftSide, vjNodes(g.VJ, Left), &out.LeftSide)
+	rmap := reduceSide(&g.RightSide, vjNodes(g.VJ, Right), &out.RightSide)
+	for _, e := range g.VJ {
+		out.VJ = append(out.VJ, VJEdge{L: lmap[e.L], R: rmap[e.R]})
+	}
+	return out
+}
+
+func vjNodes(vj []VJEdge, side Side) map[int]bool {
+	out := map[int]bool{}
+	for _, e := range vj {
+		if side == Left {
+			out[e.L] = true
+		} else {
+			out[e.R] = true
+		}
+	}
+	return out
+}
+
+// reduceSide computes the reduced side tree and returns the map from old
+// node index to new node index (only for retained nodes).
+func reduceSide(s *SideGraph, vj map[int]bool, out *SideGraph) map[int]int {
+	n := len(s.Nodes)
+	// keep[i]: node i's subtree contains a value-join node.
+	keep := make([]bool, n)
+	for i := n - 1; i >= 0; i-- {
+		keep[i] = vj[i]
+		for _, c := range s.Nodes[i].Children {
+			keep[i] = keep[i] || keep[c]
+		}
+	}
+	// Rule 2: the new root is the LCA of all vj nodes: walk down from the
+	// old root while exactly one child subtree contains vj nodes and the
+	// current node is not itself a vj node.
+	root := 0
+	for !vj[root] {
+		next := -1
+		cnt := 0
+		for _, c := range s.Nodes[root].Children {
+			if keep[c] {
+				next = c
+				cnt++
+			}
+		}
+		if cnt != 1 {
+			break
+		}
+		root = next
+	}
+
+	// Build the reduced tree from root downward: children are the nearest
+	// retained descendants. A node is retained if it is a vj node, or it
+	// has ≥2 children subtrees containing vj nodes (it is an LCA), or it
+	// is the root.
+	retained := func(i int) bool {
+		if i == root || vj[i] {
+			return true
+		}
+		cnt := 0
+		for _, c := range s.Nodes[i].Children {
+			if keep[c] {
+				cnt++
+			}
+		}
+		return cnt >= 2
+	}
+
+	m := map[int]int{}
+	var build func(old, newParent int)
+	build = func(old, newParent int) {
+		var self int
+		if retained(old) {
+			self = len(out.Nodes)
+			m[old] = self
+			out.Nodes = append(out.Nodes, JGNode{
+				PatternNode: s.Nodes[old].PatternNode,
+				Canonical:   s.Nodes[old].Canonical,
+				Parent:      newParent,
+			})
+			if newParent >= 0 {
+				out.Nodes[newParent].Children = append(out.Nodes[newParent].Children, self)
+			}
+		} else {
+			self = newParent // splice: children attach to the nearest retained ancestor
+		}
+		for _, c := range s.Nodes[old].Children {
+			if keep[c] {
+				build(c, self)
+			}
+		}
+	}
+	build(root, -1)
+	return m
+}
+
+// StructEdges returns the parent-child pairs of the side tree, as pairs of
+// node indexes.
+func (s *SideGraph) StructEdges() [][2]int {
+	var out [][2]int
+	for i := range s.Nodes {
+		if p := s.Nodes[i].Parent; p >= 0 {
+			out = append(out, [2]int{p, i})
+		}
+	}
+	return out
+}
+
+// String renders the join graph for debugging and the xsclc inspector.
+func (g *JoinGraph) String() string {
+	var sb strings.Builder
+	writeSide := func(label string, s *SideGraph) {
+		fmt.Fprintf(&sb, "%s:\n", label)
+		for i, n := range s.Nodes {
+			indent := strings.Repeat("  ", depthOf(s, i))
+			v := n.PatternNode.Var
+			if v == "" {
+				v = "(unbound)"
+			}
+			fmt.Fprintf(&sb, "  %s[%d] %s  canon=%s\n", indent, i, v, n.Canonical)
+		}
+	}
+	writeSide("LHS", &g.LeftSide)
+	writeSide("RHS", &g.RightSide)
+	sb.WriteString("value joins:\n")
+	for _, e := range g.VJ {
+		fmt.Fprintf(&sb, "  L[%d] = R[%d]\n", e.L, e.R)
+	}
+	return sb.String()
+}
+
+func depthOf(s *SideGraph, i int) int {
+	d := 0
+	for p := s.Nodes[i].Parent; p >= 0; p = s.Nodes[p].Parent {
+		d++
+	}
+	return d
+}

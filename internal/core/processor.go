@@ -1,0 +1,827 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/relation"
+	"repro/internal/xmldoc"
+	"repro/internal/xpath"
+	"repro/internal/xscl"
+	"repro/internal/yfilter"
+)
+
+// QueryID identifies a registered XSCL query.
+type QueryID int64
+
+// Match is one query result: an output tuple of RoutT that passed the
+// temporal constraint (Algorithm 3). Left and Right refer to the query's own
+// block order (for a swapped JOIN orientation, Left may be the newer
+// document).
+type Match struct {
+	Query QueryID
+
+	LeftDoc, RightDoc xmldoc.DocID
+	LeftTS, RightTS   xmldoc.Timestamp
+
+	// LeftRoot and RightRoot are the bindings of the template side roots,
+	// used by the default SELECT * output construction.
+	LeftRoot, RightRoot xmldoc.NodeID
+
+	// Template and Bindings expose the full RoutT row: Bindings[p] is the
+	// document node bound at template position p (positions on the
+	// template's left side bind in the earlier document, right side in
+	// the current document, before orientation is applied).
+	Template *Template
+	Bindings []xmldoc.NodeID
+}
+
+// Stats accumulates wall-clock cost of the processing phases, matching the
+// breakdown of Figures 14 and 15.
+type Stats struct {
+	XPath     time.Duration // Stage 1: shared tree-pattern matching
+	Witness   time.Duration // building RbinW/RdocW/RrootW from witnesses
+	Rvj       time.Duration // common-string discovery (semi-join, Alg. 4 l.2)
+	RL        time.Duration // computing/looking up RL slices
+	RR        time.Duration // computing RR slices
+	CQ        time.Duration // per-template conjunctive query evaluation
+	Maintain  time.Duration // Algorithm 2 + view cache maintenance + GC
+	Matches   int64
+	Documents int64
+	// WitnessPlans and RTPlans count per-template plan choices (see
+	// rtplan.go); the ablation tests assert the chooser adapts.
+	WitnessPlans int64
+	RTPlans      int64
+}
+
+// Config selects processor behaviour.
+type Config struct {
+	// ViewMaterialization enables the Section-5 optimization: shared
+	// Rvj/RL/RR views and the per-string view cache (Algorithms 4 and 5).
+	ViewMaterialization bool
+	// ViewCacheCapacity bounds the number of cached RL slices
+	// (0 = unbounded). Ignored unless ViewMaterialization is set.
+	ViewCacheCapacity int
+	// RetainDocuments keeps full documents in the join state so that
+	// query outputs can be constructed as XML; benchmarks disable it.
+	RetainDocuments bool
+	// Plan overrides the per-template physical plan choice (tests and
+	// ablation benchmarks; PlanAuto picks by cost estimate).
+	Plan PlanKind
+}
+
+// PlanKind selects the physical plan for template conjunctive queries.
+type PlanKind int
+
+const (
+	// PlanAuto chooses per template per document by fan-out estimate.
+	PlanAuto PlanKind = iota
+	// PlanWitness always joins outward from the current document's
+	// value-join pairs (processor.go).
+	PlanWitness
+	// PlanRTDriven always iterates RT's distinct variable vectors
+	// (rtplan.go).
+	PlanRTDriven
+)
+
+// Processor is the MMQJP Join Processor together with its Stage-1 engine.
+type Processor struct {
+	cfg  Config
+	xp   *yfilter.Engine
+	syms *symtab
+
+	queries   []*xscl.Query // by QueryID
+	instances []*instance   // by instance id (RT qid column)
+
+	templates    map[string]*Template
+	templateList []*Template
+	rt           map[TemplateID]*relation.Relation // RT per template
+	rtIndex      map[TemplateID]*relation.Index    // index on RT var columns
+	rtDirty      map[TemplateID]bool
+
+	patterns    map[yfilter.PatternID]*patternInfo
+	patternList []*patternInfo
+
+	// singleQueries lists single-block (OpNone) queries per pattern.
+	singleQueries map[yfilter.PatternID][]QueryID
+
+	state *State
+	cache *ViewCache
+
+	// canonMemo caches canonicalization results by the raw encoding of
+	// the reduced join graph; generated workloads repeat a handful of
+	// raw shapes across hundreds of thousands of queries.
+	canonMemo map[string]canonResult
+
+	maxFiniteWindow int64 // largest finite time window
+	maxCountWindow  int64 // largest finite tuple window
+	anyInfWindow    bool
+
+	stats Stats
+}
+
+type canonResult struct {
+	sig   string
+	order []int
+}
+
+// instance is one orientation of one query's join: FOLLOWED BY queries have
+// one instance, JOIN queries two (the second with the blocks swapped).
+type instance struct {
+	qid        QueryID
+	op         xscl.OpKind
+	swapped    bool
+	tmpl       *Template
+	window     int64
+	windowKind xscl.WindowKind
+}
+
+// patternInfo records what the Join Processor extracts from the witnesses of
+// one distinct registered pattern.
+type patternInfo struct {
+	yid yfilter.PatternID
+	pat *xpath.Pattern // normalized, fully bound representative
+	// canonIDs[i] is the interned canonical variable of pattern node i.
+	canonIDs []int64
+
+	edgeSet  map[[2]int32]bool
+	edges    [][2]int32 // structural edges to emit, as node index pairs
+	strSet   map[int32]bool
+	strNodes []int32 // nodes whose string values go to RdocW
+	rootSet  map[int32]bool
+	roots    []int32 // nodes emitted to RrootW (single-node template sides)
+}
+
+// NewProcessor returns an empty processor.
+func NewProcessor(cfg Config) *Processor {
+	return &Processor{
+		cfg:           cfg,
+		xp:            yfilter.NewEngine(),
+		syms:          newSymtab(),
+		templates:     map[string]*Template{},
+		rt:            map[TemplateID]*relation.Relation{},
+		rtIndex:       map[TemplateID]*relation.Index{},
+		rtDirty:       map[TemplateID]bool{},
+		patterns:      map[yfilter.PatternID]*patternInfo{},
+		singleQueries: map[yfilter.PatternID][]QueryID{},
+		canonMemo:     map[string]canonResult{},
+		state:         NewState(),
+		cache:         NewViewCache(cfg.ViewCacheCapacity),
+	}
+}
+
+// NumTemplates returns the number of distinct query templates registered.
+func (p *Processor) NumTemplates() int { return len(p.templateList) }
+
+// Templates returns the registered templates.
+func (p *Processor) Templates() []*Template { return p.templateList }
+
+// NumQueries returns the number of registered queries.
+func (p *Processor) NumQueries() int { return len(p.queries) }
+
+// Stats returns the accumulated phase timings.
+func (p *Processor) Stats() Stats { return p.stats }
+
+// ResetStats zeroes the accumulated phase timings.
+func (p *Processor) ResetStats() { p.stats = Stats{} }
+
+// State exposes the join state (read-only use: tests, inspection).
+func (p *Processor) State() *State { return p.state }
+
+// Register adds an XSCL query and returns its id.
+func (p *Processor) Register(q *xscl.Query) (QueryID, error) {
+	qid := QueryID(len(p.queries))
+
+	if q.Op == xscl.OpNone {
+		pi := p.registerPattern(q.Left)
+		p.singleQueries[pi.yid] = append(p.singleQueries[pi.yid], qid)
+		p.queries = append(p.queries, q)
+		return qid, nil
+	}
+
+	if err := p.registerInstance(q, qid, false); err != nil {
+		return 0, err
+	}
+	if q.Op == xscl.OpJoin {
+		swapped := &xscl.Query{
+			Left: q.Right, Right: q.Left, Op: q.Op,
+			Window: q.Window, WindowKind: q.WindowKind,
+			Publish: q.Publish, Source: q.Source,
+		}
+		for _, pr := range q.Preds {
+			swapped.Preds = append(swapped.Preds, xscl.ValueJoin{
+				LeftVar: pr.RightVar, RightVar: pr.LeftVar,
+				LeftCanonical: pr.RightCanonical, RightCanonical: pr.LeftCanonical,
+			})
+		}
+		if err := p.registerInstance(swapped, qid, true); err != nil {
+			return 0, err
+		}
+	}
+
+	switch {
+	case q.Window == xscl.WindowInf:
+		p.anyInfWindow = true
+	case q.WindowKind == xscl.WindowCount:
+		if q.Window > p.maxCountWindow {
+			p.maxCountWindow = q.Window
+		}
+	default:
+		if q.Window > p.maxFiniteWindow {
+			p.maxFiniteWindow = q.Window
+		}
+	}
+	p.queries = append(p.queries, q)
+	return qid, nil
+}
+
+// MustRegister is Register, panicking on error (tests, examples).
+func (p *Processor) MustRegister(q *xscl.Query) QueryID {
+	id, err := p.Register(q)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+func (p *Processor) registerInstance(q *xscl.Query, qid QueryID, swapped bool) error {
+	jg, err := BuildJoinGraph(q)
+	if err != nil {
+		return err
+	}
+	red := jg.Minor()
+	raw := RawEncode(red)
+	cr, ok := p.canonMemo[raw]
+	if !ok {
+		sig, order := Canonicalize(red)
+		cr = canonResult{sig: sig, order: order}
+		p.canonMemo[raw] = cr
+	}
+	sig, order := cr.sig, cr.order
+
+	tmpl := p.templates[sig]
+	if tmpl == nil {
+		tmpl = NewTemplateFromCanonical(sig, red, order)
+		tmpl.ID = TemplateID(len(p.templateList))
+		p.templates[sig] = tmpl
+		p.templateList = append(p.templateList, tmpl)
+		cols := []string{"qid"}
+		for i := 0; i < tmpl.N; i++ {
+			cols = append(cols, fmt.Sprintf("v%d", i))
+		}
+		cols = append(cols, "wl")
+		p.rt[tmpl.ID] = relation.New(cols...)
+	}
+
+	// Register the two block patterns and record, per pattern, the
+	// structural edges, string-value nodes and root nodes the template
+	// needs.
+	lpi := p.registerPattern(q.Left)
+	rpi := p.registerPattern(q.Right)
+	_, lmap := q.Left.NormalizedFullyBound()
+	_, rmap := q.Right.NormalizedFullyBound()
+
+	sideInfo := func(side Side) (*patternInfo, []int) {
+		if side == Left {
+			return lpi, lmap
+		}
+		return rpi, rmap
+	}
+	sideNodes := func(side Side) []JGNode {
+		if side == Left {
+			return red.LeftSide.Nodes
+		}
+		return red.RightSide.Nodes
+	}
+	for _, side := range []Side{Left, Right} {
+		pi, imap := sideInfo(side)
+		nodes := sideNodes(side)
+		for i, nd := range nodes {
+			norm := int32(imap[nd.PatternNode.Index])
+			if nd.Parent >= 0 {
+				parent := int32(imap[nodes[nd.Parent].PatternNode.Index])
+				pi.addEdge(parent, norm)
+			}
+			_ = i
+		}
+		if len(nodes) == 1 {
+			pi.addRoot(int32(imap[nodes[0].PatternNode.Index]))
+		}
+	}
+	// Value-join endpoints need string values.
+	for _, e := range red.VJ {
+		lpi.addStrNode(int32(lmap[red.LeftSide.Nodes[e.L].PatternNode.Index]))
+		rpi.addStrNode(int32(rmap[red.RightSide.Nodes[e.R].PatternNode.Index]))
+	}
+
+	// Insert the query's RT tuple: its canonical variable at each
+	// template position, and its window length.
+	nl := len(red.LeftSide.Nodes)
+	iid := int64(len(p.instances))
+	row := make([]relation.Value, 0, tmpl.N+2)
+	row = append(row, relation.Int(iid))
+	varIDs := make([]int64, tmpl.N)
+	for pos := 0; pos < tmpl.N; pos++ {
+		flat := order[pos]
+		var canon string
+		if flat < nl {
+			canon = red.LeftSide.Nodes[flat].Canonical
+		} else {
+			canon = red.RightSide.Nodes[flat-nl].Canonical
+		}
+		varIDs[pos] = p.syms.intern(canon)
+		row = append(row, relation.Int(varIDs[pos]))
+	}
+	row = append(row, relation.Int(q.Window))
+	p.rt[tmpl.ID].Insert(row...)
+	p.rtDirty[tmpl.ID] = true
+	tmpl.addVector(varIDs, iid, q.Window)
+
+	p.instances = append(p.instances, &instance{
+		qid: qid, op: q.Op, swapped: swapped, tmpl: tmpl,
+		window: q.Window, windowKind: q.WindowKind,
+	})
+	return nil
+}
+
+func (pi *patternInfo) addEdge(a, b int32) {
+	k := [2]int32{a, b}
+	if pi.edgeSet[k] {
+		return
+	}
+	pi.edgeSet[k] = true
+	pi.edges = append(pi.edges, k)
+}
+
+func (pi *patternInfo) addStrNode(n int32) {
+	if pi.strSet[n] {
+		return
+	}
+	pi.strSet[n] = true
+	pi.strNodes = append(pi.strNodes, n)
+}
+
+func (pi *patternInfo) addRoot(n int32) {
+	if pi.rootSet[n] {
+		return
+	}
+	pi.rootSet[n] = true
+	pi.roots = append(pi.roots, n)
+}
+
+// registerPattern registers the normalized, fully-bound form of the block
+// with the shared XPath engine and returns its pattern info.
+func (p *Processor) registerPattern(block *xpath.Pattern) *patternInfo {
+	norm, _ := block.NormalizedFullyBound()
+	yid := p.xp.Register(norm)
+	if pi, ok := p.patterns[yid]; ok {
+		return pi
+	}
+	rep := p.xp.Pattern(yid)
+	pi := &patternInfo{
+		yid: yid, pat: rep,
+		canonIDs: make([]int64, len(rep.Nodes)),
+		edgeSet:  map[[2]int32]bool{},
+		strSet:   map[int32]bool{},
+		rootSet:  map[int32]bool{},
+	}
+	for i, n := range rep.Nodes {
+		pi.canonIDs[i] = p.syms.intern(rep.CanonicalVar(n))
+	}
+	p.patterns[yid] = pi
+	p.patternList = append(p.patternList, pi)
+	return pi
+}
+
+// Process runs the full per-document pipeline (Algorithm 1, or Algorithm 4
+// when view materialization is enabled) and returns the matches the
+// document triggered.
+func (p *Processor) Process(stream string, d *xmldoc.Document) []Match {
+	p.stats.Documents++
+	t0 := time.Now()
+	res := p.xp.MatchDocument(stream, d)
+	p.stats.XPath += time.Since(t0)
+
+	w := NewCurrentWitness(d)
+	var out []Match
+
+	t1 := time.Now()
+	for _, pi := range p.patternList {
+		ws := res.Witnesses(pi.yid)
+		if len(ws) == 0 {
+			continue
+		}
+		for _, witness := range ws {
+			// The pattern is fully bound: Bindings[i] is the
+			// binding of pattern node i.
+			b := witness.Bindings
+			for _, e := range pi.edges {
+				w.AddBin(pi.canonIDs[e[0]], pi.canonIDs[e[1]], b[e[0]], b[e[1]])
+			}
+			for _, n := range pi.strNodes {
+				w.AddDoc(b[n], d.StringValue(b[n]))
+			}
+			for _, n := range pi.roots {
+				w.AddRoot(pi.canonIDs[n], b[n])
+			}
+		}
+		// Single-block queries fire once per witness.
+		for _, qid := range p.singleQueries[pi.yid] {
+			for _, witness := range ws {
+				root := xmldoc.NodeID(0)
+				if len(witness.Bindings) > 0 {
+					root = witness.Bindings[0]
+				}
+				out = append(out, Match{
+					Query:   qid,
+					LeftDoc: d.ID, RightDoc: d.ID,
+					LeftTS: d.Timestamp, RightTS: d.Timestamp,
+					LeftRoot: root, RightRoot: root,
+				})
+			}
+		}
+	}
+	p.stats.Witness += time.Since(t1)
+
+	if p.state.NumDocs() > 0 && w.RdocW.Len() > 0 {
+		if p.cfg.ViewMaterialization {
+			out = append(out, p.evalTemplatesViewMat(w, d)...)
+		} else {
+			out = append(out, p.evalTemplatesBasic(w, d)...)
+		}
+	}
+
+	t2 := time.Now()
+	p.state.Merge(w, p.cfg.RetainDocuments)
+	if p.cfg.ViewMaterialization {
+		p.maintainCache(w)
+	}
+	if !p.anyInfWindow && (p.maxFiniteWindow > 0 || p.maxCountWindow > 0) {
+		cutoffTS := xmldoc.Timestamp(int64(math.MaxInt64))
+		if p.maxFiniteWindow > 0 {
+			cutoffTS = d.Timestamp - xmldoc.Timestamp(p.maxFiniteWindow)
+		}
+		cutoffSeq := int64(math.MaxInt64)
+		if p.maxCountWindow > 0 {
+			cutoffSeq = p.state.nextSeq - p.maxCountWindow
+		}
+		if p.state.shouldGC(cutoffTS, cutoffSeq) {
+			p.state.GC(cutoffTS, cutoffSeq)
+			p.cache.Clear() // cached slices may contain expired rows
+		}
+	}
+	p.stats.Maintain += time.Since(t2)
+	p.stats.Matches += int64(len(out))
+	return out
+}
+
+// rtAtom returns the RT atom of a template, (re)building its index when the
+// relation changed since the last document.
+func (p *Processor) rtAtom(t *Template) relation.Atom {
+	rt := p.rt[t.ID]
+	vcols := make([]string, t.N)
+	vars := make([]string, 0, t.N+2)
+	vars = append(vars, "qid")
+	for i := 0; i < t.N; i++ {
+		vcols[i] = fmt.Sprintf("v%d", i)
+		vars = append(vars, vcols[i])
+	}
+	vars = append(vars, "wl")
+	if p.rtDirty[t.ID] || p.rtIndex[t.ID] == nil {
+		p.rtIndex[t.ID] = rt.BuildIndex(vcols...)
+		p.rtDirty[t.ID] = false
+	}
+	return relation.Atom{Name: "RT", Rel: rt, Vars: vars, Idx: p.rtIndex[t.ID], IdxVars: vcols}
+}
+
+func (t *Template) headVars() []string {
+	head := []string{"qid", "docid"}
+	for i := 0; i < t.N; i++ {
+		head = append(head, fmt.Sprintf("n%d", i))
+	}
+	head = append(head, "wl")
+	return head
+}
+
+// evalTemplatesBasic implements Algorithm 1: per template, evaluate the
+// conjunctive query CQ_T over the witness relations. The value-join pairs
+// (the Rdoc ⋈ RdocW core) are recomputed per template from the incremental
+// string index — no sharing across templates, which is precisely what the
+// Section-5 optimization adds.
+func (p *Processor) evalTemplatesBasic(w *CurrentWitness, d *xmldoc.Document) []Match {
+	var out []Match
+	var subs *docSubsets
+	for _, t := range p.templateList {
+		tcq := time.Now()
+		// Fresh per-template value-join pair relation
+		// Rvj(docid, nodeL, nodeR, strVal). Recomputing it per template
+		// is exactly the redundancy Section 5 removes.
+		rvj := relation.New("docid", "nodeL", "nodeR", "strVal")
+		perDoc := map[xmldoc.DocID]int{}
+		for _, row := range w.RdocW.Rows {
+			s := row[1].S
+			for _, ri := range p.state.rdocByStr[s] {
+				dt := p.state.Rdoc.Rows[ri]
+				rvj.Insert(dt[0], dt[1], row[0], dt[2])
+				perDoc[xmldoc.DocID(dt[0].I)]++
+			}
+		}
+		if rvj.Len() == 0 {
+			p.stats.CQ += time.Since(tcq)
+			continue
+		}
+		if p.useRTDriven(t, perDoc) {
+			p.stats.RTPlans++
+			if subs == nil {
+				subs = newDocSubsets(p.state, w)
+			}
+			out = append(out, p.evalTemplateRTDriven(t, w, rvj, subs, d)...)
+			p.stats.CQ += time.Since(tcq)
+			continue
+		}
+		p.stats.WitnessPlans++
+		// Interleaved atom order: each value join is immediately
+		// followed by the structural edges anchoring its endpoints,
+		// walking up to the side roots, so every join is selective.
+		atoms := make([]relation.Atom, 0, 2*len(t.VJ)+t.N+2)
+		emitted := map[[2]int]bool{}
+		rootDone := map[Side]bool{}
+		for k, e := range t.VJ {
+			atoms = append(atoms, relation.Atom{
+				Name: "Rvj", Rel: rvj,
+				Vars: []string{"docid", nvar(e[0]), nvar(e[1]), svar(k)},
+			})
+			atoms = p.appendAnchors(atoms, t, w, e[0], Left, emitted, rootDone)
+			atoms = p.appendAnchors(atoms, t, w, e[1], Right, emitted, rootDone)
+		}
+		atoms = append(atoms, p.rtAtom(t))
+		rout := relation.EvalConjunctiveOrdered(atoms, t.headVars())
+		p.stats.CQ += time.Since(tcq)
+		out = append(out, p.emit(t, rout, d)...)
+	}
+	return out
+}
+
+// useRTDriven decides the physical plan for one template against the
+// current document: witness-driven when the estimated value-join fan-out is
+// small, RT-driven when it would explode (e.g. the two-document technical
+// benchmarks, where every leaf of the stored document matches).
+func (p *Processor) useRTDriven(t *Template, perDoc map[xmldoc.DocID]int) bool {
+	switch p.cfg.Plan {
+	case PlanWitness:
+		return false
+	case PlanRTDriven:
+		return true
+	}
+	return witnessFanout(perDoc, len(t.VJ)) > 4*t.rtDrivenCost()+1024
+}
+
+// appendAnchors emits the structural-edge atoms from template position pos
+// up to its side root (skipping edges already emitted), or the unary root
+// atom for single-node sides.
+func (p *Processor) appendAnchors(atoms []relation.Atom, t *Template, w *CurrentWitness, pos int, side Side, emitted map[[2]int]bool, rootDone map[Side]bool) []relation.Atom {
+	single := t.SingleLeft
+	if side == Right {
+		single = t.SingleRight
+	}
+	if single {
+		if rootDone[side] {
+			return atoms
+		}
+		rootDone[side] = true
+		if side == Left {
+			return append(atoms, relation.Atom{
+				Name: "Rroot", Rel: p.state.Rroot,
+				Vars: []string{"docid", vvar(t.LeftRoot), nvar(t.LeftRoot)},
+			})
+		}
+		return append(atoms, relation.Atom{
+			Name: "RrootW", Rel: w.RrootW,
+			Vars: []string{vvar(t.RightRoot), nvar(t.RightRoot)},
+		})
+	}
+	for c := pos; t.Parent[c] >= 0; c = t.Parent[c] {
+		edge := [2]int{t.Parent[c], c}
+		if emitted[edge] {
+			break
+		}
+		emitted[edge] = true
+		if side == Left {
+			atoms = append(atoms, relation.Atom{
+				Name: "Rbin", Rel: p.state.Rbin,
+				Vars: []string{"docid", vvar(edge[0]), vvar(edge[1]), nvar(edge[0]), nvar(edge[1])},
+			})
+		} else {
+			atoms = append(atoms, relation.Atom{
+				Name: "RbinW", Rel: w.RbinW,
+				Vars: []string{vvar(edge[0]), vvar(edge[1]), nvar(edge[0]), nvar(edge[1])},
+			})
+		}
+	}
+	return atoms
+}
+
+func vvar(p int) string { return fmt.Sprintf("v%d", p) }
+func nvar(p int) string { return fmt.Sprintf("n%d", p) }
+func svar(k int) string { return fmt.Sprintf("s%d", k) }
+
+// windowOK applies the Algorithm-3 window constraint for one instance:
+// 0 < Δ ≤ wl for FOLLOWED BY, 0 ≤ Δ ≤ wl for JOIN, where Δ is the timestamp
+// difference for time windows or the arrival-index difference for tuple
+// (ROWS) windows.
+func (p *Processor) windowOK(inst *instance, prevDoc xmldoc.DocID, prevTS xmldoc.Timestamp, d *xmldoc.Document) bool {
+	var delta int64
+	if inst.windowKind == xscl.WindowCount {
+		// The current document has not been merged yet; its arrival
+		// index will be nextSeq.
+		delta = p.state.nextSeq - p.state.seq[prevDoc]
+	} else {
+		delta = int64(d.Timestamp - prevTS)
+	}
+	if inst.op == xscl.OpJoin {
+		return 0 <= delta && delta <= inst.window
+	}
+	return 0 < delta && delta <= inst.window
+}
+
+// emit converts RoutT rows into matches, applying the temporal constraint of
+// Algorithm 3 per instance.
+func (p *Processor) emit(t *Template, rout *relation.Relation, d *xmldoc.Document) []Match {
+	var out []Match
+	for _, row := range rout.Rows {
+		inst := p.instances[row[0].I]
+		prevDoc := xmldoc.DocID(row[1].I)
+		prevTS, ok := p.state.RdocTS[prevDoc]
+		if !ok {
+			continue
+		}
+		if !p.windowOK(inst, prevDoc, prevTS, d) {
+			continue
+		}
+		bindings := make([]xmldoc.NodeID, t.N)
+		for i := 0; i < t.N; i++ {
+			bindings[i] = xmldoc.NodeID(row[2+i].I)
+		}
+		out = append(out, p.orientMatch(t, inst, prevDoc, prevTS, bindings, d))
+	}
+	return out
+}
+
+// evalTemplatesViewMat implements Algorithm 4: compute the common string set
+// STR, obtain the RL slices from the view cache (computing E_{L,s} on
+// misses), compute the RR slices, and evaluate every template's conjunctive
+// query against the shared RL/RR views.
+func (p *Processor) evalTemplatesViewMat(w *CurrentWitness, d *xmldoc.Document) []Match {
+	// STR: distinct string values common to RdocW and Rdoc (line 2).
+	t0 := time.Now()
+	var strs []string
+	seen := map[string]bool{}
+	for _, row := range w.RdocW.Rows {
+		s := row[1].S
+		if !seen[s] && p.state.HasString(s) {
+			seen[s] = true
+			strs = append(strs, s)
+		}
+	}
+	sort.Strings(strs)
+	p.stats.Rvj += time.Since(t0)
+	if len(strs) == 0 {
+		return nil
+	}
+
+	// RL: union of cached/computed slices (lines 3-7).
+	t1 := time.Now()
+	rl := relation.New("docid", "var1", "var2", "node1", "node2", "strVal")
+	for _, s := range strs {
+		slice, ok := p.cache.Get(s)
+		if !ok {
+			slice = p.state.SliceEL(s)
+			p.cache.Put(s, slice)
+		}
+		rl.UnionInPlace(slice)
+	}
+	p.stats.RL += time.Since(t1)
+
+	// RR: σ_strVal∈STR(RdocW) ⋈ RbinW on node2 (line 8).
+	t2 := time.Now()
+	strOf := make(map[int64]string, w.RdocW.Len())
+	for _, row := range w.RdocW.Rows {
+		strOf[row[0].I] = row[1].S
+	}
+	rr := relation.New("var1", "var2", "node1", "node2", "strVal")
+	for _, row := range w.RbinW.Rows {
+		s, ok := strOf[row[3].I]
+		if !ok || !seen[s] {
+			continue
+		}
+		rr.Insert(row[0], row[1], row[2], row[3], relation.Str(s))
+	}
+	w.rrSlices = rr
+	p.stats.RR += time.Since(t2)
+
+	// Per-document fan-out of the shared left view, for plan choice.
+	perDoc := map[xmldoc.DocID]int{}
+	docidCol := rl.Schema.Col("docid")
+	for _, row := range rl.Rows {
+		perDoc[xmldoc.DocID(row[docidCol].I)]++
+	}
+
+	var out []Match
+	var subs *docSubsets
+	var rvjShared *relation.Relation
+	for _, t := range p.templateList {
+		if p.useRTDriven(t, perDoc) {
+			p.stats.RTPlans++
+			// The value-join pair relation is computed once and
+			// shared across all RT-driven templates — the
+			// Section-5 sharing applies to this plan too.
+			if rvjShared == nil {
+				t0 := time.Now()
+				rvjShared = relation.New("docid", "nodeL", "nodeR", "strVal")
+				for _, row := range w.RdocW.Rows {
+					s := row[1].S
+					for _, ri := range p.state.rdocByStr[s] {
+						dt := p.state.Rdoc.Rows[ri]
+						rvjShared.Insert(dt[0], dt[1], row[0], dt[2])
+					}
+				}
+				p.stats.Rvj += time.Since(t0)
+			}
+			if subs == nil {
+				subs = newDocSubsets(p.state, w)
+			}
+			tcq := time.Now()
+			out = append(out, p.evalTemplateRTDriven(t, w, rvjShared, subs, d)...)
+			p.stats.CQ += time.Since(tcq)
+			continue
+		}
+		p.stats.WitnessPlans++
+		tcq := time.Now()
+		atoms := p.viewMatAtoms(t, w, rl, rr)
+		rout := relation.EvalConjunctiveOrdered(atoms, t.headVars())
+		p.stats.CQ += time.Since(tcq)
+		out = append(out, p.emit(t, rout, d)...)
+	}
+	return out
+}
+
+// viewMatAtoms builds the Section-5 rewritten conjunctive query: the leaf
+// structural edges are folded into RL/RR; remaining structural edges and
+// single-node sides fall back to the witness relations.
+func (p *Processor) viewMatAtoms(t *Template, w *CurrentWitness, rl, rr *relation.Relation) []relation.Atom {
+	var atoms []relation.Atom
+	emitted := map[[2]int]bool{}
+	rootDone := map[Side]bool{}
+	for k, e := range t.VJ {
+		l, r := e[0], e[1]
+		if t.SingleLeft {
+			// Value join on the left root: Rdoc provides the
+			// string, Rroot the variable identity.
+			atoms = append(atoms, relation.Atom{Name: "Rdoc", Rel: p.state.Rdoc,
+				Vars: []string{"docid", nvar(l), svar(k)}})
+			atoms = p.appendAnchors(atoms, t, w, l, Left, emitted, rootDone)
+		} else {
+			pa := t.Parent[l]
+			edge := [2]int{pa, l}
+			atoms = append(atoms, relation.Atom{Name: "RL", Rel: rl,
+				Vars: []string{"docid", vvar(pa), vvar(l), nvar(pa), nvar(l), svar(k)}})
+			emitted[edge] = true
+			// Anchor the leaf's parent up to the root.
+			atoms = p.appendAnchors(atoms, t, w, pa, Left, emitted, rootDone)
+		}
+		if t.SingleRight {
+			atoms = append(atoms, relation.Atom{Name: "RdocW", Rel: w.RdocW,
+				Vars: []string{nvar(r), svar(k)}})
+			atoms = p.appendAnchors(atoms, t, w, r, Right, emitted, rootDone)
+		} else {
+			pa := t.Parent[r]
+			edge := [2]int{pa, r}
+			atoms = append(atoms, relation.Atom{Name: "RR", Rel: rr,
+				Vars: []string{vvar(pa), vvar(r), nvar(pa), nvar(r), svar(k)}})
+			emitted[edge] = true
+			atoms = p.appendAnchors(atoms, t, w, pa, Right, emitted, rootDone)
+		}
+	}
+	atoms = append(atoms, p.rtAtom(t))
+	return atoms
+}
+
+// maintainCache implements Algorithm 5: fold the current document's RR
+// bindings into the cached RL slices so future documents find them.
+func (p *Processor) maintainCache(w *CurrentWitness) {
+	if w.rrSlices == nil {
+		return
+	}
+	did := relation.Int(int64(w.DocID))
+	for _, row := range w.rrSlices.Rows {
+		s := row[4].S
+		slice, ok := p.cache.Get(s)
+		if !ok {
+			continue
+		}
+		slice.Insert(did, row[0], row[1], row[2], row[3], row[4])
+	}
+	w.rrSlices = nil
+}

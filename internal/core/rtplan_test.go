@@ -1,0 +1,47 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// TestPlanChooserAdapts verifies the physical-plan cost model: the
+// two-fixed-document technical benchmark (every stored leaf matches, huge
+// witness fan-out) must run RT-driven, while a stream whose documents match
+// few stored values must run witness-driven.
+func TestPlanChooserAdapts(t *testing.T) {
+	// Technical benchmark: two-level workload, 2000 queries, d1 then d2.
+	c := workload.DefaultTwoLevel()
+	rng := rand.New(rand.NewSource(1))
+	p := NewProcessor(Config{})
+	for _, q := range c.Queries(rng, 2000) {
+		p.MustRegister(q)
+	}
+	d1, d2 := c.Documents()
+	p.Process("S", d1)
+	p.Process("S", d2)
+	s := p.Stats()
+	if s.RTPlans == 0 {
+		t.Errorf("technical benchmark never chose the RT-driven plan (witness=%d rt=%d)", s.WitnessPlans, s.RTPlans)
+	}
+
+	// Stream: RSS items with sparse value collisions.
+	rssc := workload.RSS{Channels: 400, Items: 200, TitlePool: 10000, DescPool: 10000, Theta: 0.8}
+	rng2 := rand.New(rand.NewSource(2))
+	ps := NewProcessor(Config{ViewMaterialization: true})
+	for _, q := range rssc.Queries(rng2, 2000) {
+		ps.MustRegister(q)
+	}
+	for _, d := range rssc.Stream(rng2, 200) {
+		ps.Process("S", d)
+	}
+	ss := ps.Stats()
+	if ss.WitnessPlans == 0 {
+		t.Errorf("stream workload never chose the witness-driven plan (witness=%d rt=%d)", ss.WitnessPlans, ss.RTPlans)
+	}
+	if ss.RTPlans > ss.WitnessPlans {
+		t.Errorf("stream workload mostly RT-driven: witness=%d rt=%d", ss.WitnessPlans, ss.RTPlans)
+	}
+}

@@ -1,0 +1,265 @@
+package core
+
+import (
+	"repro/internal/relation"
+	"repro/internal/xmldoc"
+)
+
+// symtab interns canonical variable names as dense int64 ids so that the
+// witness relations can store them as integer attributes.
+type symtab struct {
+	ids   map[string]int64
+	names []string
+}
+
+func newSymtab() *symtab { return &symtab{ids: map[string]int64{}} }
+
+func (s *symtab) intern(name string) int64 {
+	if id, ok := s.ids[name]; ok {
+		return id
+	}
+	id := int64(len(s.names))
+	s.ids[name] = id
+	s.names = append(s.names, name)
+	return id
+}
+
+func (s *symtab) name(id int64) string { return s.names[id] }
+
+// State is the Join Processor's join state: the witness relations of all
+// previously processed documents (Section 3.1) plus the indexes that the
+// view-materialization path maintains over them (Section 5).
+//
+//	Rbin   (docid, var1, var2, node1, node2) — bindings of template
+//	        structural edges from previous documents
+//	Rdoc   (docid, node, strVal)             — string values of value-join
+//	        nodes from previous documents
+//	Rroot  (docid, var, node)                — root bindings for templates
+//	        whose side is a single node (see DESIGN.md)
+//	RdocTS (docid, timestamp)
+type State struct {
+	Rbin   *relation.Relation
+	Rdoc   *relation.Relation
+	Rroot  *relation.Relation
+	RdocTS map[xmldoc.DocID]xmldoc.Timestamp
+
+	// docIDs in insertion (timestamp) order, for window GC.
+	docIDs []xmldoc.DocID
+	// seq assigns each document its arrival index (monotone, survives
+	// GC); tuple-based windows are expressed over this sequence.
+	seq     map[xmldoc.DocID]int64
+	nextSeq int64
+
+	// rdocByStr indexes Rdoc rows by string value; rbinByNode2 indexes
+	// Rbin rows by (docid, node2); rbinByVars indexes Rbin rows by their
+	// variable pair. All are maintained incrementally: the first two serve
+	// the view-materialization plan (EL,s), the third the RT-driven plan.
+	rdocByStr   map[string][]int
+	rbinByNode2 map[binKey][]int
+	rbinByVars  map[[2]int64][]int
+
+	// docs retains full documents for output construction when enabled.
+	docs map[xmldoc.DocID]*xmldoc.Document
+}
+
+type binKey struct {
+	doc  xmldoc.DocID
+	node xmldoc.NodeID
+}
+
+// NewState returns empty join state.
+func NewState() *State {
+	return &State{
+		Rbin:        relation.New("docid", "var1", "var2", "node1", "node2"),
+		Rdoc:        relation.New("docid", "node", "strVal"),
+		Rroot:       relation.New("docid", "var", "node"),
+		RdocTS:      map[xmldoc.DocID]xmldoc.Timestamp{},
+		seq:         map[xmldoc.DocID]int64{},
+		rdocByStr:   map[string][]int{},
+		rbinByNode2: map[binKey][]int{},
+		rbinByVars:  map[[2]int64][]int{},
+		docs:        map[xmldoc.DocID]*xmldoc.Document{},
+	}
+}
+
+// CurrentWitness holds the Stage-1 output for the document currently being
+// processed: RbinW, RdocW, RrootW and RdocTSW of Section 3.1.
+type CurrentWitness struct {
+	RbinW   *relation.Relation // (var1, var2, node1, node2)
+	RdocW   *relation.Relation // (node, strVal)
+	RrootW  *relation.Relation // (var, node)
+	DocID   xmldoc.DocID
+	TS      xmldoc.Timestamp
+	Doc     *xmldoc.Document
+	binSeen map[[4]int64]bool
+	docSeen map[xmldoc.NodeID]bool
+	rtSeen  map[[2]int64]bool
+
+	// rrSlices holds the current document's RR rows (var1, var2, node1,
+	// node2, strVal) between conjunctive-query evaluation and view-cache
+	// maintenance (Algorithm 5).
+	rrSlices *relation.Relation
+}
+
+// NewCurrentWitness returns empty current-document witness relations.
+func NewCurrentWitness(d *xmldoc.Document) *CurrentWitness {
+	return &CurrentWitness{
+		RbinW:   relation.New("var1", "var2", "node1", "node2"),
+		RdocW:   relation.New("node", "strVal"),
+		RrootW:  relation.New("var", "node"),
+		DocID:   d.ID,
+		TS:      d.Timestamp,
+		Doc:     d,
+		binSeen: map[[4]int64]bool{},
+		docSeen: map[xmldoc.NodeID]bool{},
+		rtSeen:  map[[2]int64]bool{},
+	}
+}
+
+// AddBin inserts a deduplicated structural-edge binding tuple.
+func (w *CurrentWitness) AddBin(var1, var2 int64, n1, n2 xmldoc.NodeID) {
+	k := [4]int64{var1, var2, int64(n1), int64(n2)}
+	if w.binSeen[k] {
+		return
+	}
+	w.binSeen[k] = true
+	w.RbinW.Insert(relation.Int(var1), relation.Int(var2), relation.Int(int64(n1)), relation.Int(int64(n2)))
+}
+
+// AddDoc inserts a deduplicated node string value tuple.
+func (w *CurrentWitness) AddDoc(n xmldoc.NodeID, strVal string) {
+	if w.docSeen[n] {
+		return
+	}
+	w.docSeen[n] = true
+	w.RdocW.Insert(relation.Int(int64(n)), relation.Str(strVal))
+}
+
+// AddRoot inserts a deduplicated root binding tuple.
+func (w *CurrentWitness) AddRoot(v int64, n xmldoc.NodeID) {
+	k := [2]int64{v, int64(n)}
+	if w.rtSeen[k] {
+		return
+	}
+	w.rtSeen[k] = true
+	w.RrootW.Insert(relation.Int(v), relation.Int(int64(n)))
+}
+
+// Merge folds the current document's witness relations into the join state,
+// implementing Algorithm 2 (the timestamp cross product of the paper is
+// realized by stamping each tuple with the document id and recording the
+// id→timestamp pair in RdocTS).
+func (s *State) Merge(w *CurrentWitness, retainDoc bool) {
+	did := relation.Int(int64(w.DocID))
+	for _, t := range w.RbinW.Rows {
+		s.Rbin.Insert(did, t[0], t[1], t[2], t[3])
+		row := s.Rbin.Len() - 1
+		nk := binKey{w.DocID, xmldoc.NodeID(t[3].I)}
+		s.rbinByNode2[nk] = append(s.rbinByNode2[nk], row)
+		vk := [2]int64{t[0].I, t[1].I}
+		s.rbinByVars[vk] = append(s.rbinByVars[vk], row)
+	}
+	for _, t := range w.RdocW.Rows {
+		s.Rdoc.Insert(did, t[0], t[1])
+		s.rdocByStr[t[1].S] = append(s.rdocByStr[t[1].S], s.Rdoc.Len()-1)
+	}
+	for _, t := range w.RrootW.Rows {
+		s.Rroot.Insert(did, t[0], t[1])
+	}
+	s.RdocTS[w.DocID] = w.TS
+	s.seq[w.DocID] = s.nextSeq
+	s.nextSeq++
+	s.docIDs = append(s.docIDs, w.DocID)
+	if retainDoc {
+		s.docs[w.DocID] = w.Doc
+	}
+}
+
+// HasString reports whether any previous document produced a value-join node
+// with the given string value (the semi-join of Algorithm 4, line 2, served
+// from the incremental index).
+func (s *State) HasString(str string) bool { return len(s.rdocByStr[str]) > 0 }
+
+// SliceEL computes E_{L,s} = σ_{strVal=s}(Rdoc) ⋈_{node=node2} Rbin — the
+// per-string slice of the left view RL (Section 5) — using the incremental
+// indexes. The result schema is (docid, var1, var2, node1, node2, strVal).
+func (s *State) SliceEL(str string) *relation.Relation {
+	out := relation.New("docid", "var1", "var2", "node1", "node2", "strVal")
+	sv := relation.Str(str)
+	for _, ri := range s.rdocByStr[str] {
+		dt := s.Rdoc.Rows[ri]
+		doc := xmldoc.DocID(dt[0].I)
+		node := xmldoc.NodeID(dt[1].I)
+		for _, bi := range s.rbinByNode2[binKey{doc, node}] {
+			bt := s.Rbin.Rows[bi]
+			out.Insert(bt[0], bt[1], bt[2], bt[3], bt[4], sv)
+		}
+	}
+	return out
+}
+
+// GC removes all state belonging to documents expired in both window
+// dimensions (timestamp < cutoffTS and arrival index < cutoffSeq).
+// Relations are rebuilt (they are append-only row stores); the incremental
+// indexes are rebuilt alongside.
+func (s *State) GC(cutoffTS xmldoc.Timestamp, cutoffSeq int64) {
+	expired := map[xmldoc.DocID]bool{}
+	keptIDs := s.docIDs[:0]
+	for _, id := range s.docIDs {
+		if s.RdocTS[id] < cutoffTS && s.seq[id] < cutoffSeq {
+			expired[id] = true
+			delete(s.RdocTS, id)
+			delete(s.seq, id)
+			delete(s.docs, id)
+		} else {
+			keptIDs = append(keptIDs, id)
+		}
+	}
+	s.docIDs = keptIDs
+	if len(expired) == 0 {
+		return
+	}
+	filter := func(r *relation.Relation) *relation.Relation {
+		c := r.Schema.Col("docid")
+		return r.Select(func(t relation.Tuple) bool {
+			return !expired[xmldoc.DocID(t[c].I)]
+		})
+	}
+	s.Rbin = filter(s.Rbin)
+	s.Rdoc = filter(s.Rdoc)
+	s.Rroot = filter(s.Rroot)
+	s.rdocByStr = map[string][]int{}
+	for i, t := range s.Rdoc.Rows {
+		s.rdocByStr[t[2].S] = append(s.rdocByStr[t[2].S], i)
+	}
+	s.rbinByNode2 = map[binKey][]int{}
+	s.rbinByVars = map[[2]int64][]int{}
+	for i, t := range s.Rbin.Rows {
+		k := binKey{xmldoc.DocID(t[0].I), xmldoc.NodeID(t[4].I)}
+		s.rbinByNode2[k] = append(s.rbinByNode2[k], i)
+		vk := [2]int64{t[1].I, t[2].I}
+		s.rbinByVars[vk] = append(s.rbinByVars[vk], i)
+	}
+}
+
+// shouldGC reports whether enough documents have expired to make rebuilding
+// the join state worthwhile. A document is expired when its timestamp is
+// below cutoffTS AND its arrival index is below cutoffSeq (pass the maximum
+// value for a dimension with no active windows). Documents arrive in
+// timestamp order, so expired documents form a prefix of docIDs.
+func (s *State) shouldGC(cutoffTS xmldoc.Timestamp, cutoffSeq int64) bool {
+	expired := 0
+	for _, id := range s.docIDs {
+		if s.RdocTS[id] >= cutoffTS || s.seq[id] >= cutoffSeq {
+			break
+		}
+		expired++
+	}
+	return expired > 0 && (expired >= 32 || 2*expired >= len(s.docIDs))
+}
+
+// Doc returns a retained document, or nil.
+func (s *State) Doc(id xmldoc.DocID) *xmldoc.Document { return s.docs[id] }
+
+// NumDocs returns the number of documents currently in the join state.
+func (s *State) NumDocs() int { return len(s.docIDs) }

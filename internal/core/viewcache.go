@@ -1,0 +1,80 @@
+package core
+
+import (
+	"container/list"
+
+	"repro/internal/relation"
+)
+
+// ViewCache is the Section-5 cache of materialized RL slices: each entry is
+// keyed by a string value s and holds the relation R_{L,s} — the part of the
+// materialized left view whose tuples carry string value s. Entries are
+// maintained incrementally by Algorithm 5 and evicted with an LRU policy
+// when a capacity is configured ("Cached entries can be replaced by a cache
+// replacement policy appropriate for the workload, such as LRU").
+type ViewCache struct {
+	capacity int // 0 = unbounded
+	entries  map[string]*list.Element
+	order    *list.List // front = most recently used
+
+	hits, misses, evictions int64
+}
+
+type cacheEntry struct {
+	key   string
+	slice *relation.Relation
+}
+
+// NewViewCache returns a cache bounded to capacity entries (0 = unbounded).
+func NewViewCache(capacity int) *ViewCache {
+	return &ViewCache{
+		capacity: capacity,
+		entries:  map[string]*list.Element{},
+		order:    list.New(),
+	}
+}
+
+// Get returns the cached slice for s, marking it most recently used.
+func (c *ViewCache) Get(s string) (*relation.Relation, bool) {
+	e, ok := c.entries[s]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.order.MoveToFront(e)
+	return e.Value.(*cacheEntry).slice, true
+}
+
+// Put inserts (or replaces) the slice for s, evicting the least recently
+// used entry if the capacity is exceeded.
+func (c *ViewCache) Put(s string, slice *relation.Relation) {
+	if e, ok := c.entries[s]; ok {
+		e.Value.(*cacheEntry).slice = slice
+		c.order.MoveToFront(e)
+		return
+	}
+	e := c.order.PushFront(&cacheEntry{key: s, slice: slice})
+	c.entries[s] = e
+	if c.capacity > 0 && len(c.entries) > c.capacity {
+		last := c.order.Back()
+		c.order.Remove(last)
+		delete(c.entries, last.Value.(*cacheEntry).key)
+		c.evictions++
+	}
+}
+
+// Clear drops all entries (used after state GC, which may invalidate cached
+// rows).
+func (c *ViewCache) Clear() {
+	c.entries = map[string]*list.Element{}
+	c.order.Init()
+}
+
+// Len returns the number of cached slices.
+func (c *ViewCache) Len() int { return len(c.entries) }
+
+// HitRate returns hits, misses and evictions since creation.
+func (c *ViewCache) HitRate() (hits, misses, evictions int64) {
+	return c.hits, c.misses, c.evictions
+}

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/relation"
+)
+
+func sliceOf(vals ...int64) *relation.Relation {
+	r := relation.New("docid", "var1", "var2", "node1", "node2", "strVal")
+	for _, v := range vals {
+		r.Insert(relation.Int(v), relation.Int(0), relation.Int(0), relation.Int(0), relation.Int(0), relation.Str("s"))
+	}
+	return r
+}
+
+func TestViewCachePutGet(t *testing.T) {
+	c := NewViewCache(0)
+	if _, ok := c.Get("a"); ok {
+		t.Error("empty cache hit")
+	}
+	c.Put("a", sliceOf(1))
+	got, ok := c.Get("a")
+	if !ok || got.Len() != 1 {
+		t.Errorf("get = %v, %v", got, ok)
+	}
+	hits, misses, _ := c.HitRate()
+	if hits != 1 || misses != 1 {
+		t.Errorf("hits=%d misses=%d", hits, misses)
+	}
+}
+
+func TestViewCacheLRUEviction(t *testing.T) {
+	c := NewViewCache(2)
+	c.Put("a", sliceOf(1))
+	c.Put("b", sliceOf(2))
+	c.Get("a") // a is now more recent than b
+	c.Put("c", sliceOf(3))
+	if _, ok := c.Get("b"); ok {
+		t.Error("b survived eviction, want LRU evicted")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Error("a evicted despite recent use")
+	}
+	if _, ok := c.Get("c"); !ok {
+		t.Error("c missing")
+	}
+	_, _, ev := c.HitRate()
+	if ev != 1 {
+		t.Errorf("evictions = %d", ev)
+	}
+	if c.Len() != 2 {
+		t.Errorf("len = %d", c.Len())
+	}
+}
+
+func TestViewCacheReplace(t *testing.T) {
+	c := NewViewCache(2)
+	c.Put("a", sliceOf(1))
+	c.Put("a", sliceOf(1, 2))
+	got, _ := c.Get("a")
+	if got.Len() != 2 {
+		t.Errorf("replace did not take: %d rows", got.Len())
+	}
+	if c.Len() != 1 {
+		t.Errorf("len = %d after replace", c.Len())
+	}
+}
+
+func TestViewCacheClear(t *testing.T) {
+	c := NewViewCache(0)
+	for i := 0; i < 10; i++ {
+		c.Put(fmt.Sprint(i), sliceOf(int64(i)))
+	}
+	c.Clear()
+	if c.Len() != 0 {
+		t.Errorf("len = %d after clear", c.Len())
+	}
+	if _, ok := c.Get("3"); ok {
+		t.Error("entry survived clear")
+	}
+}
+
+func TestViewCacheUnboundedNeverEvicts(t *testing.T) {
+	c := NewViewCache(0)
+	for i := 0; i < 1000; i++ {
+		c.Put(fmt.Sprint(i), sliceOf(int64(i)))
+	}
+	if c.Len() != 1000 {
+		t.Errorf("len = %d", c.Len())
+	}
+	_, _, ev := c.HitRate()
+	if ev != 0 {
+		t.Errorf("evictions = %d", ev)
+	}
+}

@@ -1,0 +1,379 @@
+// Package relation is the in-memory relational substrate of the MMQJP Join
+// Processor. The paper evaluates its per-template conjunctive queries on a
+// commercial SQL engine; this package plays that role here: typed tuples,
+// named schemas, hash joins, semi-joins, selections, projections, unions and
+// hash indexes — everything the Stage-2 plans of Sections 4 and 5 need.
+//
+// Values are either int64 (document ids, node ids, window lengths, interned
+// variable names) or strings (node string values). Relations are append-only
+// row stores; operators produce new relations and never mutate inputs,
+// except for the explicit mutators Insert and UnionInPlace used for join
+// state maintenance (Algorithm 2).
+package relation
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Value is a single attribute value: an int64 or a string.
+type Value struct {
+	I   int64
+	S   string
+	Str bool // true when the value is the string S, false for int I
+}
+
+// Int returns an integer value.
+func Int(i int64) Value { return Value{I: i} }
+
+// Str returns a string value.
+func Str(s string) Value { return Value{S: s, Str: true} }
+
+// Equal reports value equality (ints and strings never compare equal).
+func (v Value) Equal(o Value) bool {
+	if v.Str != o.Str {
+		return false
+	}
+	if v.Str {
+		return v.S == o.S
+	}
+	return v.I == o.I
+}
+
+// String renders the value for debugging and golden tests.
+func (v Value) String() string {
+	if v.Str {
+		return v.S
+	}
+	return fmt.Sprint(v.I)
+}
+
+// appendKey appends a self-delimiting encoding of v to b, for use in
+// composite hash keys. The encoding is binary (kind tag, then an 8-byte
+// length or integer, then string bytes); hash keys are built for every row
+// of every join, so this path avoids fmt entirely.
+func (v Value) appendKey(b []byte) []byte {
+	if v.Str {
+		n := uint64(len(v.S))
+		b = append(b, 's',
+			byte(n), byte(n>>8), byte(n>>16), byte(n>>24),
+			byte(n>>32), byte(n>>40), byte(n>>48), byte(n>>56))
+		return append(b, v.S...)
+	}
+	u := uint64(v.I)
+	return append(b, 'i',
+		byte(u), byte(u>>8), byte(u>>16), byte(u>>24),
+		byte(u>>32), byte(u>>40), byte(u>>48), byte(u>>56))
+}
+
+// Tuple is one row.
+type Tuple []Value
+
+// Key encodes the tuple's values at the given column positions as a hash key.
+func (t Tuple) Key(cols []int) string {
+	b := make([]byte, 0, 16*len(cols))
+	for _, c := range cols {
+		b = t[c].appendKey(b)
+	}
+	return string(b)
+}
+
+// Schema is an ordered list of column names.
+type Schema []string
+
+// Col returns the position of the named column, or panics: schema mismatches
+// are programming errors in plan construction, never data errors.
+func (s Schema) Col(name string) int {
+	for i, c := range s {
+		if c == name {
+			return i
+		}
+	}
+	panic(fmt.Sprintf("relation: column %q not in schema %v", name, []string(s)))
+}
+
+// Cols maps several names to positions.
+func (s Schema) Cols(names ...string) []int {
+	out := make([]int, len(names))
+	for i, n := range names {
+		out[i] = s.Col(n)
+	}
+	return out
+}
+
+// Has reports whether the schema contains the column.
+func (s Schema) Has(name string) bool {
+	for _, c := range s {
+		if c == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Relation is a named-schema row store.
+type Relation struct {
+	Schema Schema
+	Rows   []Tuple
+}
+
+// New creates an empty relation with the given columns.
+func New(cols ...string) *Relation {
+	return &Relation{Schema: Schema(cols)}
+}
+
+// Insert appends a row. The number of values must match the schema.
+func (r *Relation) Insert(vals ...Value) {
+	if len(vals) != len(r.Schema) {
+		panic(fmt.Sprintf("relation: inserting %d values into %d-column schema %v", len(vals), len(r.Schema), r.Schema))
+	}
+	r.Rows = append(r.Rows, Tuple(vals))
+}
+
+// InsertTuple appends a row without copying.
+func (r *Relation) InsertTuple(t Tuple) {
+	if len(t) != len(r.Schema) {
+		panic("relation: tuple arity mismatch")
+	}
+	r.Rows = append(r.Rows, t)
+}
+
+// Len returns the number of rows.
+func (r *Relation) Len() int { return len(r.Rows) }
+
+// Clone returns a deep-enough copy (rows are shared; tuples are immutable by
+// convention).
+func (r *Relation) Clone() *Relation {
+	return &Relation{Schema: r.Schema, Rows: append([]Tuple(nil), r.Rows...)}
+}
+
+// UnionInPlace appends all rows of o, whose schema must be identical.
+// This is the ∪ of Algorithm 2 (join state maintenance).
+func (r *Relation) UnionInPlace(o *Relation) {
+	if len(r.Schema) != len(o.Schema) {
+		panic("relation: union schema mismatch")
+	}
+	r.Rows = append(r.Rows, o.Rows...)
+}
+
+// Select returns the rows satisfying pred.
+func (r *Relation) Select(pred func(Tuple) bool) *Relation {
+	out := &Relation{Schema: r.Schema}
+	for _, t := range r.Rows {
+		if pred(t) {
+			out.Rows = append(out.Rows, t)
+		}
+	}
+	return out
+}
+
+// SelectEq returns the rows whose named column equals v.
+func (r *Relation) SelectEq(col string, v Value) *Relation {
+	c := r.Schema.Col(col)
+	return r.Select(func(t Tuple) bool { return t[c].Equal(v) })
+}
+
+// Project returns the relation restricted to the named columns (in the given
+// order), without deduplication.
+func (r *Relation) Project(cols ...string) *Relation {
+	idx := r.Schema.Cols(cols...)
+	out := New(cols...)
+	for _, t := range r.Rows {
+		nt := make(Tuple, len(idx))
+		for i, c := range idx {
+			nt[i] = t[c]
+		}
+		out.Rows = append(out.Rows, nt)
+	}
+	return out
+}
+
+// Distinct returns the relation with duplicate rows removed (all columns).
+func (r *Relation) Distinct() *Relation {
+	all := make([]int, len(r.Schema))
+	for i := range all {
+		all[i] = i
+	}
+	seen := map[string]bool{}
+	out := &Relation{Schema: r.Schema}
+	for _, t := range r.Rows {
+		k := t.Key(all)
+		if !seen[k] {
+			seen[k] = true
+			out.Rows = append(out.Rows, t)
+		}
+	}
+	return out
+}
+
+// Rename returns a relation with the same rows and renamed columns.
+func (r *Relation) Rename(cols ...string) *Relation {
+	if len(cols) != len(r.Schema) {
+		panic("relation: rename arity mismatch")
+	}
+	return &Relation{Schema: Schema(cols), Rows: r.Rows}
+}
+
+// Index is a hash index over a column set.
+type Index struct {
+	rel  *Relation
+	cols []int
+	m    map[string][]int
+}
+
+// BuildIndex builds a hash index on the named columns.
+func (r *Relation) BuildIndex(cols ...string) *Index {
+	idx := &Index{rel: r, cols: r.Schema.Cols(cols...), m: map[string][]int{}}
+	for i, t := range r.Rows {
+		k := t.Key(idx.cols)
+		idx.m[k] = append(idx.m[k], i)
+	}
+	return idx
+}
+
+// Probe returns the rows matching the given key values.
+func (ix *Index) Probe(vals ...Value) []Tuple {
+	k := Tuple(vals).Key(identity(len(vals)))
+	rows := ix.m[k]
+	out := make([]Tuple, len(rows))
+	for i, r := range rows {
+		out[i] = ix.rel.Rows[r]
+	}
+	return out
+}
+
+func identity(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// HashJoin computes the equi-join of l and r on lCols = rCols. The output
+// schema is l's columns followed by r's columns minus r's join columns;
+// colliding names on the r side are suffixed with "_r".
+func HashJoin(l, r *Relation, lCols, rCols []string) *Relation {
+	li := l.Schema.Cols(lCols...)
+	ri := r.Schema.Cols(rCols...)
+	if len(li) != len(ri) {
+		panic("relation: join column count mismatch")
+	}
+
+	// Output schema.
+	keep := make([]int, 0, len(r.Schema))
+	outSchema := append(Schema(nil), l.Schema...)
+	for i, c := range r.Schema {
+		skip := false
+		for _, rc := range ri {
+			if i == rc {
+				skip = true
+				break
+			}
+		}
+		if skip {
+			continue
+		}
+		keep = append(keep, i)
+		name := c
+		if outSchema.Has(name) {
+			name += "_r"
+		}
+		outSchema = append(outSchema, name)
+	}
+	out := &Relation{Schema: outSchema}
+
+	// Build on the smaller side.
+	if len(l.Rows) <= len(r.Rows) {
+		build := map[string][]Tuple{}
+		for _, t := range l.Rows {
+			k := t.Key(li)
+			build[k] = append(build[k], t)
+		}
+		for _, rt := range r.Rows {
+			k := rt.Key(ri)
+			for _, lt := range build[k] {
+				out.Rows = append(out.Rows, joinTuple(lt, rt, keep))
+			}
+		}
+	} else {
+		build := map[string][]Tuple{}
+		for _, t := range r.Rows {
+			k := t.Key(ri)
+			build[k] = append(build[k], t)
+		}
+		for _, lt := range l.Rows {
+			k := lt.Key(li)
+			for _, rt := range build[k] {
+				out.Rows = append(out.Rows, joinTuple(lt, rt, keep))
+			}
+		}
+	}
+	return out
+}
+
+func joinTuple(l, r Tuple, keep []int) Tuple {
+	nt := make(Tuple, 0, len(l)+len(keep))
+	nt = append(nt, l...)
+	for _, k := range keep {
+		nt = append(nt, r[k])
+	}
+	return nt
+}
+
+// SemiJoin returns the rows of l that have at least one join partner in r
+// (l ⋉ r). Used by Algorithm 4 line 2 to compute the common string set STR.
+func SemiJoin(l, r *Relation, lCols, rCols []string) *Relation {
+	li := l.Schema.Cols(lCols...)
+	ri := r.Schema.Cols(rCols...)
+	present := map[string]bool{}
+	for _, t := range r.Rows {
+		present[t.Key(ri)] = true
+	}
+	out := &Relation{Schema: l.Schema}
+	for _, t := range l.Rows {
+		if present[t.Key(li)] {
+			out.Rows = append(out.Rows, t)
+		}
+	}
+	return out
+}
+
+// CrossProduct returns l × r. Used by Algorithm 2 to stamp witness relations
+// with the current document's timestamp.
+func CrossProduct(l, r *Relation) *Relation {
+	outSchema := append(Schema(nil), l.Schema...)
+	for _, c := range r.Schema {
+		name := c
+		if outSchema.Has(name) {
+			name += "_r"
+		}
+		outSchema = append(outSchema, name)
+	}
+	out := &Relation{Schema: outSchema}
+	for _, lt := range l.Rows {
+		for _, rt := range r.Rows {
+			nt := make(Tuple, 0, len(lt)+len(rt))
+			nt = append(nt, lt...)
+			nt = append(nt, rt...)
+			out.Rows = append(out.Rows, nt)
+		}
+	}
+	return out
+}
+
+// String renders the relation as an aligned table, rows sorted, for golden
+// tests and the xsclc inspector.
+func (r *Relation) String() string {
+	var rows []string
+	for _, t := range r.Rows {
+		parts := make([]string, len(t))
+		for i, v := range t {
+			parts[i] = v.String()
+		}
+		rows = append(rows, strings.Join(parts, " | "))
+	}
+	sort.Strings(rows)
+	return strings.Join(append([]string{strings.Join(r.Schema, " | ")}, rows...), "\n")
+}

@@ -1,0 +1,111 @@
+package sequential
+
+import (
+	"testing"
+
+	"repro/internal/xmldoc"
+	"repro/internal/xscl"
+)
+
+func TestPaperExample(t *testing.T) {
+	p := NewProcessor()
+	q1 := p.MustRegister(xscl.PaperQ1(1000))
+	q2 := p.MustRegister(xscl.PaperQ2(1000))
+	p.MustRegister(xscl.PaperQ3(1000))
+
+	if got := p.Process("S", xmldoc.PaperD1(1, 100)); len(got) != 0 {
+		t.Fatalf("d1 fired: %v", got)
+	}
+	ms := p.Process("S", xmldoc.PaperD2(2, 200))
+	fired := map[QueryID]int{}
+	for _, m := range ms {
+		fired[m.Query]++
+		if m.LeftDoc != 1 || m.RightDoc != 2 {
+			t.Errorf("docs = %d -> %d", m.LeftDoc, m.RightDoc)
+		}
+	}
+	if fired[q1] == 0 || fired[q2] == 0 {
+		t.Errorf("fired = %v, want Q1 and Q2", fired)
+	}
+	if len(fired) != 2 {
+		t.Errorf("queries fired = %d, want 2", len(fired))
+	}
+}
+
+func TestWindowAndDirection(t *testing.T) {
+	p := NewProcessor()
+	p.MustRegister(xscl.MustParse("S//a->x FOLLOWED BY{x=y, 50} S//b->y"))
+	mk := func(id xmldoc.DocID, ts xmldoc.Timestamp, tag string) *xmldoc.Document {
+		b := xmldoc.NewBuilder(id, ts, tag)
+		b.SetText(0, "v")
+		return b.Build()
+	}
+	p.Process("S", mk(1, 100, "a"))
+	if len(p.Process("S", mk(2, 100, "b"))) != 0 {
+		t.Error("delta=0 fired for FOLLOWED BY")
+	}
+	if len(p.Process("S", mk(3, 150, "b"))) != 1 {
+		t.Error("in-window FOLLOWED BY did not fire")
+	}
+	if len(p.Process("S", mk(4, 151, "b"))) != 0 {
+		t.Error("out-of-window fired")
+	}
+}
+
+func TestJoinSymmetry(t *testing.T) {
+	p := NewProcessor()
+	p.MustRegister(xscl.MustParse("S//a->x JOIN{x=y, 100} S//b->y"))
+	mk := func(id xmldoc.DocID, ts xmldoc.Timestamp, tag string) *xmldoc.Document {
+		b := xmldoc.NewBuilder(id, ts, tag)
+		b.SetText(0, "v")
+		return b.Build()
+	}
+	p.Process("S", mk(1, 100, "b"))
+	ms := p.Process("S", mk(2, 150, "a"))
+	if len(ms) != 1 || ms[0].LeftDoc != 2 || ms[0].RightDoc != 1 {
+		t.Errorf("join matches = %v", ms)
+	}
+}
+
+func TestSingleBlock(t *testing.T) {
+	p := NewProcessor()
+	qid := p.MustRegister(xscl.MustParse("S//book->x"))
+	ms := p.Process("S", xmldoc.PaperD1(1, 100))
+	if len(ms) != 1 || ms[0].Query != qid {
+		t.Errorf("matches = %v", ms)
+	}
+}
+
+func TestGCBoundsState(t *testing.T) {
+	p := NewProcessor()
+	p.MustRegister(xscl.MustParse("S//a->x FOLLOWED BY{x=y, 10} S//a->y"))
+	mk := func(id xmldoc.DocID, ts xmldoc.Timestamp) *xmldoc.Document {
+		b := xmldoc.NewBuilder(id, ts, "a")
+		b.SetText(0, "v")
+		return b.Build()
+	}
+	for i := 0; i < 200; i++ {
+		p.Process("S", mk(xmldoc.DocID(i+1), xmldoc.Timestamp(i*20)))
+	}
+	total := 0
+	for _, sws := range p.store {
+		total += len(sws)
+	}
+	if total > 80 {
+		t.Errorf("store holds %d witnesses after GC", total)
+	}
+}
+
+func TestJoinTimeAccumulates(t *testing.T) {
+	p := NewProcessor()
+	p.MustRegister(xscl.PaperQ1(1000))
+	p.Process("S", xmldoc.PaperD1(1, 100))
+	p.Process("S", xmldoc.PaperD2(2, 200))
+	if p.JoinTime() == 0 {
+		t.Error("join time not recorded")
+	}
+	p.ResetStats()
+	if p.JoinTime() != 0 {
+		t.Error("reset failed")
+	}
+}

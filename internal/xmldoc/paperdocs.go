@@ -1,0 +1,46 @@
+package xmldoc
+
+// PaperD1 constructs the book announcement document of Figure 1 in the
+// paper, with the exact pre-order node ids shown there:
+//
+//	0 book
+//	1   publisher        "Wrox"
+//	2   author           "Andrew Watt"
+//	3   author           "Danny Ayers"
+//	4   title            "Beginning RSS and Atom Programming"
+//	5   category         "Scripting & Programming"
+//	6   category         "Web Site Development"
+//	7   isbn             "0764579169"
+//	8   (price)          — unlabeled in the figure; modeled as isbn13
+func PaperD1(id DocID, ts Timestamp) *Document {
+	b := NewBuilder(id, ts, "book")
+	b.Element(0, "publisher", "Wrox")
+	b.Element(0, "author", "Andrew Watt")
+	b.Element(0, "author", "Danny Ayers")
+	b.Element(0, "title", "Beginning RSS and Atom Programming")
+	b.Element(0, "category", "Scripting & Programming")
+	b.Element(0, "category", "Web Site Development")
+	b.Element(0, "isbn", "0764579169")
+	b.Element(0, "isbn13", "9780764579165")
+	return b.Build()
+}
+
+// PaperD2 constructs the blog article document of Figure 2 in the paper:
+//
+//	0 blog
+//	1   url              "http://dannyayers.com/topics/books/rss-book"
+//	2   author           "Danny Ayers"
+//	3   title            "Beginning RSS and Atom Programming"
+//	4   category         "Book Announcement"
+//	5   category         "Scripting & Programming"
+//	6   body             "Just heard ..."
+func PaperD2(id DocID, ts Timestamp) *Document {
+	b := NewBuilder(id, ts, "blog")
+	b.Element(0, "url", "http://dannyayers.com/topics/books/rss-book")
+	b.Element(0, "author", "Danny Ayers")
+	b.Element(0, "title", "Beginning RSS and Atom Programming")
+	b.Element(0, "category", "Book Announcement")
+	b.Element(0, "category", "Scripting & Programming")
+	b.Element(0, "body", "Just heard ...")
+	return b.Build()
+}

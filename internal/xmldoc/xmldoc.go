@@ -1,0 +1,307 @@
+// Package xmldoc provides the XML document model used throughout the MMQJP
+// system: documents with pre-order node identifiers, XPath string values,
+// stream timestamps, and parsing from XML text.
+//
+// The model follows the paper's conventions (Figures 1 and 2): each element
+// node receives an id defined by pre-order traversal of the XML tree, and
+// the string value of a node is the XPath string value, i.e. the
+// concatenation of all descendant text in document order.
+package xmldoc
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// NodeID identifies a node within a single document by its pre-order index.
+type NodeID int32
+
+// DocID identifies a document within a stream. Document ids are assigned by
+// the stream source (or the engine) and are strictly increasing.
+type DocID int64
+
+// Timestamp is the event time of a document, in arbitrary integer units
+// (the paper's T window parameters are expressed in the same units).
+type Timestamp int64
+
+// NodeKind distinguishes element nodes from attribute nodes. Text content is
+// not modeled as separate nodes; it is folded into the string values of its
+// ancestors, matching the paper's leaf-value treatment.
+type NodeKind uint8
+
+const (
+	// ElementNode is a regular XML element.
+	ElementNode NodeKind = iota
+	// AttributeNode is an XML attribute; it is always a leaf and its
+	// string value is the attribute value.
+	AttributeNode
+)
+
+// Node is a single node of a parsed document.
+type Node struct {
+	ID       NodeID
+	Kind     NodeKind
+	Name     string // element tag or attribute name
+	Parent   NodeID // -1 for the root
+	Children []NodeID
+	Depth    int32 // root is depth 0
+
+	// text is the directly-contained character data of this node
+	// (attribute value for attributes). The full XPath string value is
+	// computed over the subtree; see Document.StringValue.
+	text string
+}
+
+// Document is an immutable parsed XML document with stream metadata.
+type Document struct {
+	ID        DocID
+	Timestamp Timestamp
+	Nodes     []Node // indexed by NodeID
+
+	strValues []string // memoized XPath string values, indexed by NodeID
+}
+
+// Root returns the id of the document's root element (always 0).
+func (d *Document) Root() NodeID { return 0 }
+
+// Node returns the node with the given id. It panics on out-of-range ids,
+// which indicate a cross-document confusion bug.
+func (d *Document) Node(id NodeID) *Node { return &d.Nodes[id] }
+
+// Len returns the number of nodes in the document.
+func (d *Document) Len() int { return len(d.Nodes) }
+
+// StringValue returns the XPath string value of the node: for attributes the
+// attribute value, for elements the concatenation of all descendant text in
+// document order. Values are memoized at parse/build time.
+func (d *Document) StringValue(id NodeID) string { return d.strValues[id] }
+
+// Text returns the directly-contained character data of the node (for
+// attributes, the attribute value). Unlike StringValue it does not include
+// descendant text.
+func (d *Document) Text(id NodeID) string { return d.Nodes[id].text }
+
+// IsLeaf reports whether the node has no element children.
+func (d *Document) IsLeaf(id NodeID) bool {
+	for _, c := range d.Nodes[id].Children {
+		if d.Nodes[c].Kind == ElementNode {
+			return false
+		}
+	}
+	return true
+}
+
+// IsAncestor reports whether a is a proper ancestor of b within d.
+func (d *Document) IsAncestor(a, b NodeID) bool {
+	for p := d.Nodes[b].Parent; p >= 0; p = d.Nodes[p].Parent {
+		if p == a {
+			return true
+		}
+	}
+	return false
+}
+
+// finalize computes memoized string values. It must be called once after all
+// nodes are in place.
+func (d *Document) finalize() {
+	d.strValues = make([]string, len(d.Nodes))
+	// Post-order accumulation: children have larger pre-order ids than
+	// their parent, so a reverse scan visits children before parents.
+	var parts = make([][]string, len(d.Nodes))
+	for i := len(d.Nodes) - 1; i >= 0; i-- {
+		n := &d.Nodes[i]
+		if n.Kind == AttributeNode {
+			d.strValues[i] = n.text
+			continue
+		}
+		var sb strings.Builder
+		sb.WriteString(n.text)
+		// Children in document order; attribute children do not
+		// contribute to an element's string value (XPath semantics).
+		for _, c := range n.Children {
+			if d.Nodes[c].Kind == ElementNode {
+				for _, p := range parts[c] {
+					sb.WriteString(p)
+				}
+			}
+		}
+		d.strValues[i] = sb.String()
+		parts[i] = []string{d.strValues[i]}
+	}
+}
+
+// Builder constructs documents programmatically (used by workload generators
+// and tests). Nodes must be added parent-first; the builder assigns pre-order
+// ids in insertion order, which is the pre-order traversal order as long as
+// children are added immediately after their subtree's preceding siblings.
+type Builder struct {
+	doc Document
+}
+
+// NewBuilder returns a builder for a document with the given stream metadata
+// and a root element with the given name.
+func NewBuilder(id DocID, ts Timestamp, rootName string) *Builder {
+	b := &Builder{doc: Document{ID: id, Timestamp: ts}}
+	b.doc.Nodes = append(b.doc.Nodes, Node{ID: 0, Kind: ElementNode, Name: rootName, Parent: -1, Depth: 0})
+	return b
+}
+
+// Element appends a child element under parent and returns its id.
+// The optional text is the element's directly-contained character data.
+func (b *Builder) Element(parent NodeID, name, text string) NodeID {
+	id := NodeID(len(b.doc.Nodes))
+	p := &b.doc.Nodes[parent]
+	b.doc.Nodes = append(b.doc.Nodes, Node{
+		ID: id, Kind: ElementNode, Name: name, Parent: parent,
+		Depth: p.Depth + 1, text: text,
+	})
+	b.doc.Nodes[parent].Children = append(b.doc.Nodes[parent].Children, id)
+	return id
+}
+
+// Attribute appends an attribute node under parent and returns its id.
+func (b *Builder) Attribute(parent NodeID, name, value string) NodeID {
+	id := NodeID(len(b.doc.Nodes))
+	p := &b.doc.Nodes[parent]
+	b.doc.Nodes = append(b.doc.Nodes, Node{
+		ID: id, Kind: AttributeNode, Name: name, Parent: parent,
+		Depth: p.Depth + 1, text: value,
+	})
+	b.doc.Nodes[parent].Children = append(b.doc.Nodes[parent].Children, id)
+	return id
+}
+
+// SetText replaces the directly-contained text of a node.
+func (b *Builder) SetText(id NodeID, text string) { b.doc.Nodes[id].text = text }
+
+// Build finalizes and returns the document. The builder must not be reused.
+func (b *Builder) Build() *Document {
+	d := &b.doc
+	d.finalize()
+	return d
+}
+
+// Parse reads a single XML document from r and assigns the given stream
+// metadata. Attributes become AttributeNode children preceding element
+// children, and character data is attached to the innermost open element.
+func Parse(r io.Reader, id DocID, ts Timestamp) (*Document, error) {
+	dec := xml.NewDecoder(r)
+	var b *Builder
+	var stack []NodeID
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("xmldoc: parse: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			var nid NodeID
+			if b == nil {
+				b = NewBuilder(id, ts, t.Name.Local)
+				nid = 0
+			} else {
+				if len(stack) == 0 {
+					return nil, fmt.Errorf("xmldoc: multiple root elements")
+				}
+				nid = b.Element(stack[len(stack)-1], t.Name.Local, "")
+			}
+			for _, a := range t.Attr {
+				if a.Name.Space == "xmlns" || a.Name.Local == "xmlns" {
+					continue
+				}
+				b.Attribute(nid, a.Name.Local, a.Value)
+			}
+			stack = append(stack, nid)
+		case xml.EndElement:
+			if len(stack) == 0 {
+				return nil, fmt.Errorf("xmldoc: unbalanced end element %q", t.Name.Local)
+			}
+			stack = stack[:len(stack)-1]
+		case xml.CharData:
+			if len(stack) > 0 {
+				cur := stack[len(stack)-1]
+				b.doc.Nodes[cur].text += string(t)
+			}
+		}
+	}
+	if b == nil {
+		return nil, fmt.Errorf("xmldoc: empty document")
+	}
+	if len(stack) != 0 {
+		return nil, fmt.Errorf("xmldoc: unclosed elements")
+	}
+	d := &b.doc
+	// Trim pure-whitespace text that came from document indentation.
+	for i := range d.Nodes {
+		if d.Nodes[i].Kind == ElementNode && strings.TrimSpace(d.Nodes[i].text) == "" {
+			d.Nodes[i].text = ""
+		} else if d.Nodes[i].Kind == ElementNode {
+			d.Nodes[i].text = strings.TrimSpace(d.Nodes[i].text)
+		}
+	}
+	d.finalize()
+	return d, nil
+}
+
+// ParseString is Parse over a string.
+func ParseString(s string, id DocID, ts Timestamp) (*Document, error) {
+	return Parse(strings.NewReader(s), id, ts)
+}
+
+// MarshalXML serializes the document back to XML text (elements, attributes
+// and direct text only). It is used for constructing query outputs.
+func (d *Document) XMLText() string {
+	var sb strings.Builder
+	d.writeNode(&sb, d.Root())
+	return sb.String()
+}
+
+func (d *Document) writeNode(sb *strings.Builder, id NodeID) {
+	n := &d.Nodes[id]
+	sb.WriteByte('<')
+	sb.WriteString(n.Name)
+	for _, c := range n.Children {
+		cn := &d.Nodes[c]
+		if cn.Kind == AttributeNode {
+			fmt.Fprintf(sb, " %s=%q", cn.Name, cn.text)
+		}
+	}
+	sb.WriteByte('>')
+	xml.EscapeText(sb, []byte(n.text))
+	for _, c := range n.Children {
+		if d.Nodes[c].Kind == ElementNode {
+			d.writeNode(sb, c)
+		}
+	}
+	sb.WriteString("</")
+	sb.WriteString(n.Name)
+	sb.WriteByte('>')
+}
+
+// Subtree returns the node ids of the subtree rooted at id, in pre-order.
+func (d *Document) Subtree(id NodeID) []NodeID {
+	out := []NodeID{id}
+	for i := 0; i < len(out); i++ {
+		out = append(out, d.Nodes[out[i]].Children...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ElementsByName returns the ids of all element nodes with the given name,
+// in document order.
+func (d *Document) ElementsByName(name string) []NodeID {
+	var out []NodeID
+	for i := range d.Nodes {
+		if d.Nodes[i].Kind == ElementNode && d.Nodes[i].Name == name {
+			out = append(out, NodeID(i))
+		}
+	}
+	return out
+}

@@ -1,0 +1,104 @@
+package xpath
+
+import (
+	"sort"
+	"strings"
+)
+
+// NormalizedFullyBound returns a semantically equivalent clone of the
+// pattern in which
+//
+//   - every pattern node is bound to a variable (unbound nodes receive
+//     synthetic names derived from their position), and
+//   - the children of every node are sorted into a canonical order.
+//
+// It also returns indexMap, mapping each node index of p to the index of the
+// corresponding node in the normalized pattern.
+//
+// The MMQJP processor registers normalized patterns with the shared XPath
+// evaluator: full binding makes Stage-1 witnesses enumerate a document node
+// for every pattern node (the paper's join graphs likewise label every tree
+// node with a variable), and canonical child order makes node indexes align
+// across all queries that use a structurally identical block, so their
+// witness relations are shared tuple-for-tuple.
+func (p *Pattern) NormalizedFullyBound() (*Pattern, []int) {
+	type cloned struct {
+		node *PatternNode
+		old  int
+	}
+	var synth int
+	var clone func(n *PatternNode) *cloned
+	clonedByOld := make(map[int]*cloned, len(p.Nodes))
+	clone = func(n *PatternNode) *cloned {
+		c := &cloned{node: &PatternNode{
+			Axis:   n.Axis,
+			Name:   n.Name,
+			IsAttr: n.IsAttr,
+			Var:    n.Var,
+		}, old: n.Index}
+		if c.node.Var == "" {
+			c.node.Var = "$" + itoa(synth)
+			synth++
+		}
+		for _, ch := range n.Children {
+			cc := clone(ch)
+			c.node.Children = append(c.node.Children, cc.node)
+		}
+		clonedByOld[n.Index] = c
+		return c
+	}
+	root := clone(p.Root)
+
+	// Sort children canonically by their structural encoding (names,
+	// axes, attribute flags — not variable names, which are synthetic).
+	var enc func(n *PatternNode) string
+	enc = func(n *PatternNode) string {
+		name := n.Name
+		if n.IsAttr {
+			name = "@" + name
+		}
+		self := n.Axis.String() + name
+		if len(n.Children) == 0 {
+			return self
+		}
+		kids := make([]string, len(n.Children))
+		for i, c := range n.Children {
+			kids[i] = enc(c)
+		}
+		sort.Strings(kids)
+		return self + "[" + strings.Join(kids, ",") + "]"
+	}
+	var sortKids func(n *PatternNode)
+	sortKids = func(n *PatternNode) {
+		sort.SliceStable(n.Children, func(i, j int) bool {
+			return enc(n.Children[i]) < enc(n.Children[j])
+		})
+		for _, c := range n.Children {
+			sortKids(c)
+		}
+	}
+	sortKids(root.node)
+
+	np := &Pattern{Stream: p.Stream, Root: root.node}
+	np.finalize()
+
+	indexMap := make([]int, len(p.Nodes))
+	for old, c := range clonedByOld {
+		indexMap[old] = c.node.Index
+	}
+	return np, indexMap
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}

@@ -1,0 +1,123 @@
+package xpath
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/xmldoc"
+)
+
+func TestNormalizedFullyBoundBindsEverything(t *testing.T) {
+	p := MustParseBlock("S//a[./b][.//c->x]")
+	n, imap := p.NormalizedFullyBound()
+	for i, node := range n.Nodes {
+		if node.Var == "" {
+			t.Errorf("node %d unbound after normalization", i)
+		}
+	}
+	if len(imap) != len(p.Nodes) {
+		t.Fatalf("index map length %d", len(imap))
+	}
+	// The mapped node corresponds structurally (same name).
+	for old, nw := range imap {
+		if p.Nodes[old].Name != n.Nodes[nw].Name {
+			t.Errorf("node %d (%s) mapped to %d (%s)", old, p.Nodes[old].Name, nw, n.Nodes[nw].Name)
+		}
+	}
+	// All nodes are their own witness slot: VarNodes == all nodes.
+	if len(n.VarNodes) != len(n.Nodes) {
+		t.Errorf("VarNodes = %d, want %d", len(n.VarNodes), len(n.Nodes))
+	}
+}
+
+func TestNormalizedChildOrderCanonical(t *testing.T) {
+	a := MustParseBlock("S//r->q[.//b->y][.//a->x]")
+	b := MustParseBlock("S//r->q[.//a->x][.//b->y]")
+	na, _ := a.NormalizedFullyBound()
+	nb, _ := b.NormalizedFullyBound()
+	// Same canonical order of children regardless of source order.
+	if na.Nodes[1].Name != nb.Nodes[1].Name || na.Nodes[2].Name != nb.Nodes[2].Name {
+		t.Errorf("normalized orders differ: %q/%q vs %q/%q",
+			na.Nodes[1].Name, na.Nodes[2].Name, nb.Nodes[1].Name, nb.Nodes[2].Name)
+	}
+	if na.CanonicalKey() != nb.CanonicalKey() {
+		t.Errorf("canonical keys differ after normalization")
+	}
+}
+
+func TestNormalizedPreservesWitnesses(t *testing.T) {
+	// Normalization must not change which documents match, and the
+	// original node's binding must be recoverable through the index map.
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 120; trial++ {
+		p := randomPattern(rng)
+		n, imap := p.NormalizedFullyBound()
+
+		doc := randomNormDoc(rng)
+		origWitnesses := p.MatchNaive(doc)
+		normWitnesses := n.MatchNaive(doc)
+
+		// Project the normalized witnesses (all nodes bound) onto the
+		// original pattern's bound nodes via the index map.
+		proj := map[string]bool{}
+		for _, w := range normWitnesses {
+			key := ""
+			for _, idx := range p.VarNodes {
+				slot := imap[idx]
+				// slot is the node index == witness slot.
+				key += string(rune(w.Bindings[slot])) + "|"
+			}
+			proj[key] = true
+		}
+		orig := map[string]bool{}
+		for _, w := range origWitnesses {
+			key := ""
+			for i := range p.VarNodes {
+				key += string(rune(w.Bindings[i])) + "|"
+			}
+			orig[key] = true
+		}
+		if !reflect.DeepEqual(orig, proj) {
+			t.Fatalf("trial %d: witnesses diverge for %q:\norig %v\nproj %v",
+				trial, p.String(), setKeys(orig), setKeys(proj))
+		}
+	}
+}
+
+func setKeys(m map[string]bool) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func randomNormDoc(rng *rand.Rand) *xmldoc.Document {
+	names := []string{"a", "b", "c", "d"}
+	b := xmldoc.NewBuilder(1, 0, names[rng.Intn(len(names))])
+	open := []xmldoc.NodeID{0}
+	for i := 1; i < 2+rng.Intn(20); i++ {
+		for len(open) > 1 && rng.Intn(3) == 0 {
+			open = open[:len(open)-1]
+		}
+		id := b.Element(open[len(open)-1], names[rng.Intn(len(names))], "")
+		open = append(open, id)
+	}
+	return b.Build()
+}
+
+func TestDocumentText(t *testing.T) {
+	d, err := xmldoc.ParseString("<r>top<a>inner</a></r>", 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Text(0); got != "top" {
+		t.Errorf("Text(root) = %q, want %q", got, "top")
+	}
+	if got := d.StringValue(0); got != "topinner" {
+		t.Errorf("StringValue(root) = %q", got)
+	}
+}

@@ -1,0 +1,409 @@
+// Package yfilter implements a shared XPath evaluator in the style of
+// YFilter (Diao et al., ACM TODS 2003), the Stage-1 engine of the MMQJP
+// architecture.
+//
+// All registered tree patterns are decomposed into root-to-node linear
+// paths; the distinct paths of all patterns are compiled into a single
+// shared NFA whose states are shared across common path prefixes. One pass
+// of the NFA over a document's SAX-style event stream computes, for every
+// distinct path prefix, the set of matching document nodes. Tree-pattern
+// witnesses (complete bound-variable assignments) are then assembled per
+// distinct pattern by a post-processing join of the candidate sets along the
+// pattern's branch structure, mirroring YFilter's shared-path + nested-path
+// post-processing design.
+//
+// Patterns are deduplicated on registration (by canonical key), so the cost
+// of both NFA execution and witness assembly is paid once per distinct
+// pattern per document, independent of how many queries reference the
+// pattern.
+package yfilter
+
+import (
+	"repro/internal/xmldoc"
+	"repro/internal/xpath"
+)
+
+// PatternID identifies a distinct registered pattern.
+type PatternID int32
+
+// nfaState is one state of the shared NFA.
+type nfaState struct {
+	trans   map[string]*nfaState // transition on an exact symbol ("name" or "@name")
+	star    *nfaState            // transition on any element symbol
+	eps     *nfaState            // ε-transition to the //-self-loop state
+	self    bool                 // state has a self-loop on any symbol (the // state)
+	accepts []int                // prefix ids accepted when this state is reached
+}
+
+func newState() *nfaState { return &nfaState{trans: map[string]*nfaState{}} }
+
+// streamNFA is the NFA and pattern registry for one input stream.
+type streamNFA struct {
+	start      *nfaState
+	prefixIDs  map[string]int // prefix key -> dense id
+	numPrefix  int
+	patterns   []PatternID // patterns registered on this stream
+	stateCount int
+}
+
+// Engine is the shared XPath evaluator.
+type Engine struct {
+	patterns []*xpath.Pattern
+	byKey    map[string]PatternID
+	streams  map[string]*streamNFA
+
+	// nodePrefix[pid][i] is the prefix id of pattern pid's node i.
+	nodePrefix [][]int
+	// hasBound[pid][i] reports whether the subtree of pattern pid rooted
+	// at node i contains a bound variable (used to cut enumeration of
+	// purely existential subtrees).
+	hasBound [][]bool
+}
+
+// NewEngine returns an empty evaluator.
+func NewEngine() *Engine {
+	return &Engine{byKey: map[string]PatternID{}, streams: map[string]*streamNFA{}}
+}
+
+// NumPatterns returns the number of distinct registered patterns.
+func (e *Engine) NumPatterns() int { return len(e.patterns) }
+
+// Pattern returns the distinct pattern registered under id.
+func (e *Engine) Pattern(id PatternID) *xpath.Pattern { return e.patterns[id] }
+
+// Register adds a pattern to the engine and returns its id. Patterns that
+// are canonically equal to an already-registered pattern are shared: the
+// existing id is returned. The returned id's Pattern may therefore differ
+// from p in variable names but matches exactly the same witnesses (bindings
+// are positional, in pre-order of bound nodes).
+func (e *Engine) Register(p *xpath.Pattern) PatternID {
+	key := p.CanonicalKey()
+	if id, ok := e.byKey[key]; ok {
+		return id
+	}
+	id := PatternID(len(e.patterns))
+	e.patterns = append(e.patterns, p)
+	e.byKey[key] = id
+
+	sn := e.streams[p.Stream]
+	if sn == nil {
+		sn = &streamNFA{start: newState(), prefixIDs: map[string]int{}}
+		sn.stateCount = 1
+		e.streams[p.Stream] = sn
+	}
+	sn.patterns = append(sn.patterns, id)
+
+	// Insert every root-to-node prefix of the pattern into the NFA and
+	// record the prefix id for each pattern node.
+	np := make([]int, len(p.Nodes))
+	for _, path := range p.Decompose() {
+		cur := sn.start
+		key := ""
+		for si, st := range path.Steps {
+			sym := st.Name
+			if st.IsAttr {
+				sym = "@" + sym
+			}
+			key += st.Axis.String() + sym
+			cur = sn.insertStep(cur, st)
+			pid, ok := sn.prefixIDs[key]
+			if !ok {
+				pid = sn.numPrefix
+				sn.numPrefix++
+				sn.prefixIDs[key] = pid
+				cur.accepts = append(cur.accepts, pid)
+			}
+			np[path.NodeIndexes[si]] = pid
+		}
+	}
+	e.nodePrefix = append(e.nodePrefix, np)
+
+	hb := make([]bool, len(p.Nodes))
+	for i := len(p.Nodes) - 1; i >= 0; i-- {
+		n := p.Nodes[i]
+		hb[i] = n.Var != ""
+		for _, c := range n.Children {
+			hb[i] = hb[i] || hb[c.Index]
+		}
+	}
+	e.hasBound = append(e.hasBound, hb)
+	return id
+}
+
+// insertStep adds (or reuses) the NFA structure for one location step from
+// state cur and returns the step's target state.
+func (sn *streamNFA) insertStep(cur *nfaState, st xpath.PathStep) *nfaState {
+	if st.Axis == xpath.Descendant {
+		if cur.eps == nil {
+			sl := newState()
+			sl.self = true
+			cur.eps = sl
+			sn.stateCount++
+		}
+		cur = cur.eps
+	}
+	sym := st.Name
+	if st.IsAttr {
+		sym = "@" + sym
+	}
+	if sym == "*" && !st.IsAttr {
+		if cur.star == nil {
+			cur.star = newState()
+			sn.stateCount++
+		}
+		return cur.star
+	}
+	next := cur.trans[sym]
+	if next == nil {
+		next = newState()
+		cur.trans[sym] = next
+		sn.stateCount++
+	}
+	return next
+}
+
+// MatchResult holds the outcome of evaluating one document against all
+// patterns of one stream.
+type MatchResult struct {
+	eng    *Engine
+	stream string
+	doc    *xmldoc.Document
+
+	// candList[prefixID] lists the document nodes matching the prefix, in
+	// document order; candSet is the same data as membership sets.
+	candList [][]xmldoc.NodeID
+	candSet  []map[xmldoc.NodeID]bool
+
+	witnesses map[PatternID][]xpath.Witness
+}
+
+// MatchDocument runs the stream's shared NFA over the document and returns a
+// result from which per-pattern witnesses can be drawn. A nil result is
+// returned when no pattern is registered for the stream.
+func (e *Engine) MatchDocument(stream string, d *xmldoc.Document) *MatchResult {
+	sn := e.streams[stream]
+	if sn == nil {
+		return nil
+	}
+	r := &MatchResult{
+		eng:       e,
+		stream:    stream,
+		doc:       d,
+		candList:  make([][]xmldoc.NodeID, sn.numPrefix),
+		candSet:   make([]map[xmldoc.NodeID]bool, sn.numPrefix),
+		witnesses: map[PatternID][]xpath.Witness{},
+	}
+	start := epsClosure([]*nfaState{sn.start})
+	r.visit(d.Root(), start)
+	return r
+}
+
+func epsClosure(states []*nfaState) []*nfaState {
+	out := states
+	for i := 0; i < len(out); i++ {
+		if e := out[i].eps; e != nil {
+			dup := false
+			for _, s := range out {
+				if s == e {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				out = append(out, e)
+			}
+		}
+	}
+	return out
+}
+
+// visit consumes document node n from the active state set and recurses into
+// its children (SAX start-element semantics; end-element corresponds to the
+// implicit stack pop on return).
+func (r *MatchResult) visit(n xmldoc.NodeID, active []*nfaState) {
+	dn := r.doc.Node(n)
+	isElem := dn.Kind == xmldoc.ElementNode
+	sym := dn.Name
+	if !isElem {
+		sym = "@" + sym
+	}
+	next := make([]*nfaState, 0, len(active))
+	add := func(s *nfaState) {
+		for _, t := range next {
+			if t == s {
+				return
+			}
+		}
+		next = append(next, s)
+	}
+	for _, s := range active {
+		if t := s.trans[sym]; t != nil {
+			add(t)
+		}
+		if isElem && s.star != nil {
+			add(s.star)
+		}
+		if s.self {
+			add(s) // the // state stays active at all depths
+		}
+	}
+	next = epsClosure(next)
+	for _, s := range next {
+		for _, pid := range s.accepts {
+			r.candList[pid] = append(r.candList[pid], n)
+			if r.candSet[pid] == nil {
+				r.candSet[pid] = map[xmldoc.NodeID]bool{}
+			}
+			r.candSet[pid][n] = true
+		}
+	}
+	if len(next) == 0 {
+		return // no active state can ever fire below this node
+	}
+	for _, c := range dn.Children {
+		r.visit(c, next)
+	}
+}
+
+// Witnesses assembles (memoized) the complete witnesses of the given pattern
+// against the matched document. Patterns registered on a different stream
+// than the one the result was computed for have no witnesses.
+func (r *MatchResult) Witnesses(id PatternID) []xpath.Witness {
+	if r == nil {
+		return nil
+	}
+	if r.eng.patterns[id].Stream != r.stream {
+		return nil
+	}
+	if ws, ok := r.witnesses[id]; ok {
+		return ws
+	}
+	ws := r.assemble(id)
+	r.witnesses[id] = ws
+	return ws
+}
+
+// assemble joins per-prefix candidate sets along the pattern structure,
+// producing each distinct bound-variable assignment once.
+func (r *MatchResult) assemble(id PatternID) []xpath.Witness {
+	p := r.eng.patterns[id]
+	np := r.eng.nodePrefix[id]
+	hb := r.eng.hasBound[id]
+
+	rootCands := r.candList[np[0]]
+	if len(rootCands) == 0 {
+		return nil
+	}
+
+	assignment := make([]xmldoc.NodeID, len(p.Nodes))
+	var out []xpath.Witness
+	seen := map[string]bool{}
+
+	// satisfiable reports whether the subtree rooted at pattern node pn
+	// can be embedded under document node dn (no enumeration).
+	var satisfiable func(pn *xpath.PatternNode, dn xmldoc.NodeID) bool
+	satisfiable = func(pn *xpath.PatternNode, dn xmldoc.NodeID) bool {
+		for _, c := range pn.Children {
+			ok := false
+			for _, cand := range r.candList[np[c.Index]] {
+				if !r.related(c, dn, cand) {
+					continue
+				}
+				if satisfiable(c, cand) {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+
+	// enumerate walks the pattern nodes in pre-order, assigning document
+	// nodes; existential (unbound, var-free) subtrees are only checked
+	// for satisfiability, not enumerated.
+	var enumerate func(order []int, k int)
+	emit := func() {
+		w := xpath.Witness{Bindings: make([]xmldoc.NodeID, len(p.VarNodes))}
+		keyBuf := make([]byte, 0, 4*len(p.VarNodes))
+		for i, idx := range p.VarNodes {
+			w.Bindings[i] = assignment[idx]
+			v := assignment[idx]
+			keyBuf = append(keyBuf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+		}
+		k := string(keyBuf)
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, w)
+		}
+	}
+	// order lists the pattern node indexes that must be enumerated
+	// (subtrees containing bound variables), in pre-order.
+	var order []int
+	for i := range p.Nodes {
+		if hb[i] {
+			order = append(order, i)
+		}
+	}
+	enumerate = func(order []int, k int) {
+		if k == len(order) {
+			emit()
+			return
+		}
+		idx := order[k]
+		pn := p.Nodes[idx]
+		for _, cand := range r.candList[np[idx]] {
+			if pn.ParentIndex >= 0 {
+				if !r.related(pn, assignment[pn.ParentIndex], cand) {
+					continue
+				}
+			}
+			// Existential children must be satisfiable under this
+			// choice.
+			ok := true
+			for _, c := range pn.Children {
+				if !hb[c.Index] {
+					sat := false
+					for _, cc := range r.candList[np[c.Index]] {
+						if r.related(c, cand, cc) && satisfiable(c, cc) {
+							sat = true
+							break
+						}
+					}
+					if !sat {
+						ok = false
+						break
+					}
+				}
+			}
+			if !ok {
+				continue
+			}
+			assignment[idx] = cand
+			enumerate(order, k+1)
+		}
+	}
+	if len(order) == 0 {
+		// Pure existential pattern: a single empty witness when the
+		// pattern matches at all.
+		for _, rc := range rootCands {
+			if satisfiable(p.Root, rc) {
+				return []xpath.Witness{{}}
+			}
+		}
+		return nil
+	}
+	enumerate(order, 0)
+	return out
+}
+
+// related reports whether doc node child can play pattern node pn given its
+// pattern parent is bound to doc node parent.
+func (r *MatchResult) related(pn *xpath.PatternNode, parent, child xmldoc.NodeID) bool {
+	if pn.Axis == xpath.Child {
+		return r.doc.Node(child).Parent == parent
+	}
+	return r.doc.IsAncestor(parent, child)
+}
