@@ -1,0 +1,35 @@
+# Targets mirror the CI jobs (.github/workflows/ci.yml) so local dev and CI
+# run the same commands.
+
+GO ?= go
+
+.PHONY: all build test race bench bench-smoke lint fmt ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Tiny-scale run of every paper experiment (the CI bench-smoke job).
+bench-smoke:
+	$(GO) test -run=Smoke -v ./internal/bench
+
+# Full benchmark suite (figures + microbenchmarks + workers sweep).
+bench:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ .
+
+lint:
+	$(GO) vet ./...
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+fmt:
+	gofmt -w .
+
+ci: build lint test race bench-smoke

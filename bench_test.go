@@ -176,6 +176,33 @@ func benchProcessDocument(b *testing.B, viewMat bool) {
 	}
 }
 
+// BenchmarkWorkersSweep measures steady-state per-document cost of the full
+// pipeline at increasing Stage-2 worker counts on the multi-template RSS
+// workload — the scaling benchmark of the template-sharded parallel engine.
+func BenchmarkWorkersSweep(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		for _, viewMat := range []bool{false, true} {
+			name := fmt.Sprintf("workers=%d/viewmat=%v", workers, viewMat)
+			b.Run(name, func(b *testing.B) {
+				c := workload.DefaultRSS()
+				rng := rand.New(rand.NewSource(1))
+				p := core.NewProcessor(core.Config{ViewMaterialization: viewMat, Workers: workers})
+				for _, q := range c.Queries(rng, 5000) {
+					p.MustRegister(q)
+				}
+				srng := rand.New(rand.NewSource(3))
+				for _, d := range c.Stream(srng, 500) {
+					p.Process("S", d)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					p.Process("S", c.Item(srng, 500+i))
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkSequentialProcessDocument is the per-query baseline counterpart.
 func BenchmarkSequentialProcessDocument(b *testing.B) {
 	c := workload.DefaultRSS()

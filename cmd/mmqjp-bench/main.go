@@ -25,9 +25,10 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "experiment id (table3, fig8..fig16) or 'all'")
+		experiment = flag.String("experiment", "all", "experiment id (table3, fig8..fig16, workers) or 'all'")
 		seed       = flag.Int64("seed", 1, "workload generator seed")
 		sweep      = flag.String("queries-sweep", "", "comma-separated query counts for fig8/11/16 (default 10,100,1000,10000,100000)")
+		workers    = flag.String("workers-sweep", "", "comma-separated worker counts for the 'workers' experiment (default 1,2,4,8)")
 		queries    = flag.Int("queries", 1000, "query count for fig9/10/12/13")
 		bigQueries = flag.Int("big-queries", 100000, "query count for fig14/15")
 		rssItems   = flag.Int("rss-items", 5000, "stream length for fig16 (paper: 225000)")
@@ -42,15 +43,23 @@ func main() {
 		RSSItems:    *rssItems,
 		SeqRSSItems: *seqItems,
 	}
-	if *sweep != "" {
-		for _, part := range strings.Split(*sweep, ",") {
+	parseInts := func(flagName, val string) []int {
+		var out []int
+		for _, part := range strings.Split(val, ",") {
 			n, err := strconv.Atoi(strings.TrimSpace(part))
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "mmqjp-bench: bad -queries-sweep entry %q: %v\n", part, err)
+				fmt.Fprintf(os.Stderr, "mmqjp-bench: bad %s entry %q: %v\n", flagName, part, err)
 				os.Exit(2)
 			}
-			opts.QueryCounts = append(opts.QueryCounts, n)
+			out = append(out, n)
 		}
+		return out
+	}
+	if *sweep != "" {
+		opts.QueryCounts = parseInts("-queries-sweep", *sweep)
+	}
+	if *workers != "" {
+		opts.WorkerCounts = parseInts("-workers-sweep", *workers)
 	}
 
 	ids := []string{*experiment}

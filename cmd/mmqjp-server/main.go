@@ -14,7 +14,8 @@
 //
 //	MATCH <qid> left=<docid>@<ts> right=<docid>@<ts>
 //
-// Document ids are assigned by arrival order. Example session:
+// Connections are served concurrently against one shared engine; document
+// ids are assigned by arrival order. Example session:
 //
 //	$ mmqjp-server -addr :7878 &
 //	$ printf 'SUB S//a->x JOIN{x=y, 100} S//b->y\nPUB S 1 <a>v</a>\nPUB S 2 <b>v</b>\n' | nc localhost 7878
@@ -26,17 +27,24 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"runtime"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	mmqjp "repro"
 )
 
+// server fans concurrent client connections into a shared Engine. The
+// engine itself is safe for concurrent Subscribe/Publish (it serializes
+// writers internally and parallelizes Stage-2 across templates), so the
+// server's own mutex only guards the query-ownership table.
 type server struct {
-	mu      sync.Mutex
 	eng     *mmqjp.Engine
-	nextDoc int64
+	nextDoc atomic.Int64
+
+	mu sync.Mutex
 	// owners maps a query to the connection that subscribed it.
 	owners map[mmqjp.QueryID]*client
 }
@@ -55,6 +63,7 @@ func (c *client) send(line string) {
 func main() {
 	addr := flag.String("addr", ":7878", "listen address")
 	viewMat := flag.Bool("viewmat", true, "enable view materialization")
+	workers := flag.Int("workers", runtime.NumCPU(), "Stage-2 worker goroutines per publish (1 = sequential)")
 	flag.Parse()
 
 	kind := mmqjp.ProcessorMMQJP
@@ -62,7 +71,7 @@ func main() {
 		kind = mmqjp.ProcessorViewMat
 	}
 	s := &server{
-		eng:    mmqjp.New(mmqjp.Options{Processor: kind}),
+		eng:    mmqjp.New(mmqjp.Options{Processor: kind, Parallelism: *workers}),
 		owners: map[mmqjp.QueryID]*client{},
 	}
 	ln, err := net.Listen("tcp", *addr)
@@ -96,10 +105,7 @@ func (s *server) serve(c *client) {
 		case "PUB":
 			s.handlePub(c, rest)
 		case "STATS":
-			s.mu.Lock()
-			stats := s.eng.Stats()
-			s.mu.Unlock()
-			c.send("OK " + stats)
+			c.send("OK " + s.eng.Stats())
 		case "QUIT":
 			return
 		default:
@@ -109,6 +115,11 @@ func (s *server) serve(c *client) {
 }
 
 func (s *server) handleSub(c *client, src string) {
+	// s.mu is held across Subscribe and the owners insert so a concurrent
+	// PUB can never observe the query registered but unowned (its matches
+	// would be dropped): handlePub reads owners only after PublishXML
+	// returns, and by then either the query wasn't registered yet or the
+	// owner is in the table. Publishes themselves never run under s.mu.
 	s.mu.Lock()
 	id, err := s.eng.Subscribe(src)
 	if err == nil {
@@ -134,32 +145,29 @@ func (s *server) handlePub(c *client, rest string) {
 		c.send("ERR bad timestamp: " + err.Error())
 		return
 	}
-	s.mu.Lock()
-	s.nextDoc++
-	docID := s.nextDoc
+	docID := s.nextDoc.Add(1)
 	matches, err := s.eng.PublishXML(stream, xmlText, docID, ts)
-	var deliveries []struct {
-		to   *client
-		line string
-	}
-	if err == nil {
-		for _, m := range matches {
-			owner := s.owners[m.Query]
-			if owner == nil {
-				continue
-			}
-			deliveries = append(deliveries, struct {
-				to   *client
-				line string
-			}{owner, fmt.Sprintf("MATCH %d left=%d@%d right=%d@%d",
-				m.Query, m.LeftDoc, m.LeftTS, m.RightDoc, m.RightTS)})
-		}
-	}
-	s.mu.Unlock()
 	if err != nil {
 		c.send("ERR " + err.Error())
 		return
 	}
+	s.mu.Lock()
+	deliveries := make([]struct {
+		to   *client
+		line string
+	}, 0, len(matches))
+	for _, m := range matches {
+		owner := s.owners[m.Query]
+		if owner == nil {
+			continue
+		}
+		deliveries = append(deliveries, struct {
+			to   *client
+			line string
+		}{owner, fmt.Sprintf("MATCH %d left=%d@%d right=%d@%d",
+			m.Query, m.LeftDoc, m.LeftTS, m.RightDoc, m.RightTS)})
+	}
+	s.mu.Unlock()
 	for _, d := range deliveries {
 		d.to.send(d.line)
 	}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -16,7 +17,7 @@ import (
 func startTestServer(t *testing.T) string {
 	t.Helper()
 	s := &server{
-		eng:    mmqjp.New(mmqjp.Options{Processor: mmqjp.ProcessorViewMat}),
+		eng:    mmqjp.New(mmqjp.Options{Processor: mmqjp.ProcessorViewMat, Parallelism: 4}),
 		owners: map[mmqjp.QueryID]*client{},
 	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -138,5 +139,83 @@ func TestServerMatchesRoutedToOwner(t *testing.T) {
 	// The subscriber connection receives the push.
 	if got := sub.readLine(t); !strings.HasPrefix(got, "MATCH 0") {
 		t.Errorf("subscriber got %q", got)
+	}
+}
+
+// TestServerConcurrentClients drives SUB and PUB from many connections at
+// once; the engine's internal synchronization (not a server-side lock
+// around every call) must keep the shared state consistent. The CI race
+// job runs this under -race.
+func TestServerConcurrentClients(t *testing.T) {
+	addr := startTestServer(t)
+
+	const clients = 6
+	const pubs = 20
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			conn, err := net.DialTimeout("tcp", addr, 2*time.Second)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer conn.Close()
+			rd := bufio.NewReader(conn)
+			send := func(line string) (string, error) {
+				if _, err := fmt.Fprintln(conn, line); err != nil {
+					return "", err
+				}
+				conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+				resp, err := rd.ReadString('\n')
+				return strings.TrimSpace(resp), err
+			}
+			// Each client registers its own query on a private
+			// stream, so its matches are delivered only to it and
+			// the response stream stays in lockstep.
+			stream := fmt.Sprintf("S%d", i)
+			resp, err := send(fmt.Sprintf("SUB %s//a->x JOIN{x=y, 1000000} %s//b->y", stream, stream))
+			if err != nil || !strings.HasPrefix(resp, "OK ") {
+				errs <- fmt.Errorf("client %d: SUB -> %q, %v", i, resp, err)
+				return
+			}
+			matched := 0
+			for p := 0; p < pubs; p++ {
+				xml := "<a>k</a>"
+				if p%2 == 1 {
+					xml = "<b>k</b>"
+				}
+				resp, err := send(fmt.Sprintf("PUB %s %d %s", stream, p+1, xml))
+				if err != nil {
+					errs <- fmt.Errorf("client %d: PUB -> %v", i, err)
+					return
+				}
+				// Drain MATCH pushes until the PUB ack arrives.
+				for strings.HasPrefix(resp, "MATCH ") {
+					matched++
+					conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+					line, err := rd.ReadString('\n')
+					if err != nil {
+						errs <- fmt.Errorf("client %d: drain -> %v", i, err)
+						return
+					}
+					resp = strings.TrimSpace(line)
+				}
+				if !strings.HasPrefix(resp, "OK ") && !strings.HasPrefix(resp, "ERR") {
+					errs <- fmt.Errorf("client %d: PUB -> %q", i, resp)
+					return
+				}
+			}
+			if matched == 0 {
+				errs <- fmt.Errorf("client %d: no matches delivered", i)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
 	}
 }

@@ -23,6 +23,12 @@
 // hundreds of thousands of registered queries the system maintains a few
 // dozen templates, which is the source of its scalability.
 //
+// Engines are safe for concurrent use. Stage-2 evaluation is additionally
+// parallelized across query templates when Options.Parallelism is set:
+// templates are sharded over a bounded worker pool with per-shard state
+// ownership, and matches are merged deterministically, so output is
+// identical for every worker count (see DESIGN.md).
+//
 // # Quick start
 //
 //	eng := mmqjp.New(mmqjp.Options{Processor: mmqjp.ProcessorViewMat})

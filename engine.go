@@ -3,6 +3,7 @@ package mmqjp
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/sequential"
@@ -44,6 +45,11 @@ type Options struct {
 	// queries' outputs. Implies RetainDocuments. Derived documents
 	// cascade up to MaxCompositionDepth levels.
 	EnableComposition bool
+	// Parallelism sets the number of worker goroutines used for Stage-2
+	// template evaluation inside each Publish (0 or 1 = sequential).
+	// Match output is identical for every setting. Ignored by
+	// ProcessorSequential, which exists for benchmarking only.
+	Parallelism int
 }
 
 // MaxCompositionDepth bounds cascading through PUBLISH streams, guarding
@@ -67,8 +73,13 @@ type Match struct {
 }
 
 // Engine is an XML publish/subscribe engine: register XSCL subscriptions,
-// publish documents, receive matches.
+// publish documents, receive matches. All methods are safe for concurrent
+// use: Subscribe and Publish serialize against each other (documents enter
+// the join state one at a time — parallelism lives inside a Publish, across
+// query templates; see Options.Parallelism), while read-only accessors only
+// exclude writers.
 type Engine struct {
+	mu   sync.RWMutex
 	opts Options
 	proc *core.Processor       // nil when Sequential
 	seq  *sequential.Processor // nil otherwise
@@ -98,6 +109,7 @@ func New(opts Options) *Engine {
 			ViewMaterialization: opts.Processor == ProcessorViewMat,
 			ViewCacheCapacity:   opts.ViewCacheCapacity,
 			RetainDocuments:     opts.RetainDocuments,
+			Workers:             opts.Parallelism,
 		})
 	}
 	return e
@@ -109,6 +121,8 @@ func (e *Engine) Subscribe(src string) (QueryID, error) {
 	if err != nil {
 		return 0, err
 	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	return e.subscribe(q)
 }
 
@@ -141,14 +155,24 @@ func (e *Engine) subscribe(q *xscl.Query) (QueryID, error) {
 }
 
 // Query returns the source text of a subscription.
-func (e *Engine) Query(id QueryID) string { return e.queries[id].Source }
+func (e *Engine) Query(id QueryID) string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.queries[id].Source
+}
 
 // NumQueries returns the number of subscriptions.
-func (e *Engine) NumQueries() int { return len(e.queries) }
+func (e *Engine) NumQueries() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return len(e.queries)
+}
 
 // NumTemplates returns the number of distinct query templates maintained by
 // the join processor (0 in sequential mode, where there is no sharing).
 func (e *Engine) NumTemplates() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	if e.proc == nil {
 		return 0
 	}
@@ -158,8 +182,11 @@ func (e *Engine) NumTemplates() int {
 // Publish processes a document on the named stream and returns the matches
 // it triggered, in deterministic order. With composition enabled, matches of
 // PUBLISH queries cascade into their output streams and the derived matches
-// are included in the result.
+// are included in the result. Concurrent Publish calls are serialized;
+// documents enter the join state in lock-acquisition order.
 func (e *Engine) Publish(stream string, d *Document) []Match {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	return e.publish(stream, d, 0)
 }
 
@@ -212,7 +239,11 @@ func (e *Engine) publish(stream string, d *Document, depth int) []Match {
 
 // DroppedCascades reports derived documents discarded at the composition
 // depth limit since the engine was created.
-func (e *Engine) DroppedCascades() int64 { return e.droppedCascades }
+func (e *Engine) DroppedCascades() int64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.droppedCascades
+}
 
 // deriveDocument builds the default SELECT * output document of a match: a
 // result root whose children are copies of the two matched subtrees. The
@@ -267,6 +298,8 @@ func (e *Engine) PublishXML(stream, xmlText string, docID, timestamp int64) ([]M
 // root whose two subtrees are the matched block roots from the two joined
 // documents. It requires Options.RetainDocuments; otherwise ok is false.
 func (e *Engine) OutputXML(m Match) (xml string, ok bool) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	ld := e.docs[xmldoc.DocID(m.LeftDoc)]
 	rd := e.docs[xmldoc.DocID(m.RightDoc)]
 	if ld == nil || rd == nil {
@@ -284,6 +317,8 @@ func (e *Engine) OutputXML(m Match) (xml string, ok bool) {
 
 // Stats returns a human-readable summary of processing cost so far.
 func (e *Engine) Stats() string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	if e.seq != nil {
 		return fmt.Sprintf("sequential: %d queries, join time %v", e.seq.NumQueries(), e.seq.JoinTime())
 	}

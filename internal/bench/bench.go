@@ -92,6 +92,10 @@ type Options struct {
 	RSSItems    int   // stream length for fig16 (paper: 225000)
 	SeqRSSItems int   // stream length cap for the sequential runs of fig16
 	Repeats     int   // measurement repetitions for the two-document experiments (reported value is the mean)
+	// WorkerCounts is the Stage-2 worker sweep of the "workers"
+	// experiment (not a paper figure: it measures the parallel
+	// template-sharded engine, default 1,2,4,8).
+	WorkerCounts []int
 }
 
 // Defaults fills zero fields.
@@ -116,6 +120,9 @@ func (o Options) Defaults() Options {
 	}
 	if o.Repeats == 0 {
 		o.Repeats = 3
+	}
+	if len(o.WorkerCounts) == 0 {
+		o.WorkerCounts = []int{1, 2, 4, 8}
 	}
 	return o
 }
@@ -374,6 +381,43 @@ func perSecond(n int, d time.Duration) float64 {
 	return float64(n) / d.Seconds()
 }
 
+// WorkersSweep — not a paper figure: Stage-2 wall-clock throughput vs the
+// number of template-shard workers on the RSS multi-template workload, the
+// scaling measurement of the parallel engine. Stage2Wall is the
+// coordinator-side wall time of template evaluation, the quantity that
+// shrinks as workers are added (the per-phase stats sum CPU time across
+// workers and do not).
+func WorkersSweep(o Options) Result {
+	o = o.Defaults()
+	c := workload.DefaultRSS()
+	rng := rand.New(rand.NewSource(o.Seed))
+	qs := c.Queries(rng, o.Queries)
+	srng := rand.New(rand.NewSource(o.Seed + 7))
+	stream := c.Stream(srng, o.RSSItems)
+	res := Result{ID: "workers",
+		Title:   fmt.Sprintf("Stage-2 throughput vs workers (%d queries, %d items)", o.Queries, len(stream)),
+		Columns: []string{"workers", "MMQJP (ev/s)", "MMQJP+ViewMat (ev/s)", "templates"}}
+	for _, nw := range o.WorkerCounts {
+		basic, ntmpl := stage2Throughput(qs, stream, ModeMMQJP, nw)
+		vm, _ := stage2Throughput(qs, stream, ModeViewMat, nw)
+		res.Rows = append(res.Rows, []string{fmt.Sprint(nw), f(basic), f(vm), fmt.Sprint(ntmpl)})
+	}
+	return res
+}
+
+// stage2Throughput returns events/second of Stage-2 wall-clock time over
+// the stream with the given worker count, plus the template count.
+func stage2Throughput(qs []*xscl.Query, stream []*xmldoc.Document, mode Mode, workers int) (float64, int) {
+	p := core.NewProcessor(core.Config{ViewMaterialization: mode == ModeViewMat, Workers: workers})
+	for _, q := range qs {
+		p.MustRegister(q)
+	}
+	for _, d := range stream {
+		p.Process("S", d)
+	}
+	return perSecond(len(stream), p.Stats().Stage2Wall), p.NumTemplates()
+}
+
 // Table3 — number of query templates vs number of value joins, for the flat
 // and the complex (three-level) schema, computed by exact enumeration.
 //
@@ -550,9 +594,10 @@ func sideComplex(part []int, pfx string) string {
 	return s
 }
 
-// All returns every experiment id in paper order.
+// All returns every experiment id: the paper's tables and figures in paper
+// order, then the repo's own scaling experiments.
 func All() []string {
-	return []string{"table3", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16"}
+	return []string{"table3", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "workers"}
 }
 
 // Run executes one experiment by id.
@@ -578,6 +623,8 @@ func Run(id string, o Options) (Result, error) {
 		return Fig15(o), nil
 	case "fig16":
 		return Fig16(o), nil
+	case "workers":
+		return WorkersSweep(o), nil
 	default:
 		return Result{}, fmt.Errorf("bench: unknown experiment %q (have %v)", id, All())
 	}

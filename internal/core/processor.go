@@ -3,7 +3,6 @@ package core
 import (
 	"fmt"
 	"math"
-	"sort"
 	"time"
 
 	"repro/internal/relation"
@@ -41,19 +40,40 @@ type Match struct {
 // Stats accumulates wall-clock cost of the processing phases, matching the
 // breakdown of Figures 14 and 15.
 type Stats struct {
-	XPath     time.Duration // Stage 1: shared tree-pattern matching
-	Witness   time.Duration // building RbinW/RdocW/RrootW from witnesses
-	Rvj       time.Duration // common-string discovery (semi-join, Alg. 4 l.2)
-	RL        time.Duration // computing/looking up RL slices
-	RR        time.Duration // computing RR slices
-	CQ        time.Duration // per-template conjunctive query evaluation
-	Maintain  time.Duration // Algorithm 2 + view cache maintenance + GC
-	Matches   int64
-	Documents int64
+	XPath    time.Duration // Stage 1: shared tree-pattern matching
+	Witness  time.Duration // building RbinW/RdocW/RrootW from witnesses
+	Rvj      time.Duration // common-string discovery (semi-join, Alg. 4 l.2)
+	RL       time.Duration // computing/looking up RL slices
+	RR       time.Duration // computing RR slices
+	CQ       time.Duration // per-template conjunctive query evaluation
+	Maintain time.Duration // Algorithm 2 + view cache maintenance + GC
+	// Stage2Wall is the coordinator's wall-clock time of Stage-2 template
+	// evaluation. With Workers > 1 the per-phase timings above accumulate
+	// CPU time across workers and may exceed it; Stage2Wall is what
+	// shrinks as workers are added.
+	Stage2Wall time.Duration
+	Matches    int64
+	Documents  int64
 	// WitnessPlans and RTPlans count per-template plan choices (see
 	// rtplan.go); the ablation tests assert the chooser adapts.
 	WitnessPlans int64
 	RTPlans      int64
+}
+
+// add accumulates o into s (merging per-shard stats into a total).
+func (s *Stats) add(o Stats) {
+	s.XPath += o.XPath
+	s.Witness += o.Witness
+	s.Rvj += o.Rvj
+	s.RL += o.RL
+	s.RR += o.RR
+	s.CQ += o.CQ
+	s.Maintain += o.Maintain
+	s.Stage2Wall += o.Stage2Wall
+	s.Matches += o.Matches
+	s.Documents += o.Documents
+	s.WitnessPlans += o.WitnessPlans
+	s.RTPlans += o.RTPlans
 }
 
 // Config selects processor behaviour.
@@ -70,6 +90,12 @@ type Config struct {
 	// Plan overrides the per-template physical plan choice (tests and
 	// ablation benchmarks; PlanAuto picks by cost estimate).
 	Plan PlanKind
+	// Workers sets the number of template shards evaluated concurrently
+	// in Stage 2 (shard.go). Each shard owns the query relations, view
+	// cache entries and stats of the templates assigned to it, so workers
+	// share no mutable state. 0 or 1 selects sequential evaluation;
+	// match output is identical for every worker count.
+	Workers int
 }
 
 // PlanKind selects the physical plan for template conjunctive queries.
@@ -97,9 +123,10 @@ type Processor struct {
 
 	templates    map[string]*Template
 	templateList []*Template
-	rt           map[TemplateID]*relation.Relation // RT per template
-	rtIndex      map[TemplateID]*relation.Index    // index on RT var columns
-	rtDirty      map[TemplateID]bool
+	// shards partition the templates for Stage-2 evaluation; each shard
+	// owns its templates' RT relations, RT indexes, view cache entries
+	// and phase stats (shard.go).
+	shards []*shard
 
 	patterns    map[yfilter.PatternID]*patternInfo
 	patternList []*patternInfo
@@ -108,7 +135,6 @@ type Processor struct {
 	singleQueries map[yfilter.PatternID][]QueryID
 
 	state *State
-	cache *ViewCache
 
 	// canonMemo caches canonicalization results by the raw encoding of
 	// the reduced join graph; generated workloads repeat a handful of
@@ -156,20 +182,33 @@ type patternInfo struct {
 
 // NewProcessor returns an empty processor.
 func NewProcessor(cfg Config) *Processor {
-	return &Processor{
+	workers := cfg.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	// The configured cache capacity is split across shards: each gets
+	// ⌈capacity/workers⌉ entries, so the total can round up to
+	// capacity+workers-1, and skewed string ownership can thrash a hot
+	// shard while cold shards sit under capacity. Capacity only affects
+	// recomputation cost, never matches.
+	capPer := cfg.ViewCacheCapacity
+	if capPer > 0 {
+		capPer = (capPer + workers - 1) / workers
+	}
+	p := &Processor{
 		cfg:           cfg,
 		xp:            yfilter.NewEngine(),
 		syms:          newSymtab(),
 		templates:     map[string]*Template{},
-		rt:            map[TemplateID]*relation.Relation{},
-		rtIndex:       map[TemplateID]*relation.Index{},
-		rtDirty:       map[TemplateID]bool{},
 		patterns:      map[yfilter.PatternID]*patternInfo{},
 		singleQueries: map[yfilter.PatternID][]QueryID{},
 		canonMemo:     map[string]canonResult{},
 		state:         NewState(),
-		cache:         NewViewCache(cfg.ViewCacheCapacity),
 	}
+	for i := 0; i < workers; i++ {
+		p.shards = append(p.shards, newShard(i, capPer))
+	}
+	return p
 }
 
 // NumTemplates returns the number of distinct query templates registered.
@@ -181,11 +220,28 @@ func (p *Processor) Templates() []*Template { return p.templateList }
 // NumQueries returns the number of registered queries.
 func (p *Processor) NumQueries() int { return len(p.queries) }
 
-// Stats returns the accumulated phase timings.
-func (p *Processor) Stats() Stats { return p.stats }
+// Stats returns the accumulated phase timings: the coordinator's own
+// (Stage 1, maintenance, Stage-2 wall clock) plus every shard's Stage-2
+// phase times. With Workers > 1 the shard phases are CPU time summed across
+// workers.
+func (p *Processor) Stats() Stats {
+	s := p.stats
+	for _, sh := range p.shards {
+		s.add(sh.stats)
+	}
+	return s
+}
 
 // ResetStats zeroes the accumulated phase timings.
-func (p *Processor) ResetStats() { p.stats = Stats{} }
+func (p *Processor) ResetStats() {
+	p.stats = Stats{}
+	for _, sh := range p.shards {
+		sh.stats = Stats{}
+	}
+}
+
+// Workers returns the number of template shards evaluated concurrently.
+func (p *Processor) Workers() int { return len(p.shards) }
 
 // State exposes the join state (read-only use: tests, inspection).
 func (p *Processor) State() *State { return p.state }
@@ -272,7 +328,9 @@ func (p *Processor) registerInstance(q *xscl.Query, qid QueryID, swapped bool) e
 			cols = append(cols, fmt.Sprintf("v%d", i))
 		}
 		cols = append(cols, "wl")
-		p.rt[tmpl.ID] = relation.New(cols...)
+		sh := p.shardOf(tmpl)
+		sh.templates = append(sh.templates, tmpl)
+		sh.rt[tmpl.ID] = relation.New(cols...)
 	}
 
 	// Register the two block patterns and record, per pattern, the
@@ -335,8 +393,9 @@ func (p *Processor) registerInstance(q *xscl.Query, qid QueryID, swapped bool) e
 		row = append(row, relation.Int(varIDs[pos]))
 	}
 	row = append(row, relation.Int(q.Window))
-	p.rt[tmpl.ID].Insert(row...)
-	p.rtDirty[tmpl.ID] = true
+	sh := p.shardOf(tmpl)
+	sh.rt[tmpl.ID].Insert(row...)
+	sh.rtDirty[tmpl.ID] = true
 	tmpl.addVector(varIDs, iid, q.Window)
 
 	p.instances = append(p.instances, &instance{
@@ -446,11 +505,9 @@ func (p *Processor) Process(stream string, d *xmldoc.Document) []Match {
 	p.stats.Witness += time.Since(t1)
 
 	if p.state.NumDocs() > 0 && w.RdocW.Len() > 0 {
-		if p.cfg.ViewMaterialization {
-			out = append(out, p.evalTemplatesViewMat(w, d)...)
-		} else {
-			out = append(out, p.evalTemplatesBasic(w, d)...)
-		}
+		t := time.Now()
+		out = append(out, p.evalTemplates(w, d)...)
+		p.stats.Stage2Wall += time.Since(t)
 	}
 
 	t2 := time.Now()
@@ -469,31 +526,14 @@ func (p *Processor) Process(stream string, d *xmldoc.Document) []Match {
 		}
 		if p.state.shouldGC(cutoffTS, cutoffSeq) {
 			p.state.GC(cutoffTS, cutoffSeq)
-			p.cache.Clear() // cached slices may contain expired rows
+			for _, sh := range p.shards {
+				sh.cache.Clear() // cached slices may contain expired rows
+			}
 		}
 	}
 	p.stats.Maintain += time.Since(t2)
 	p.stats.Matches += int64(len(out))
 	return out
-}
-
-// rtAtom returns the RT atom of a template, (re)building its index when the
-// relation changed since the last document.
-func (p *Processor) rtAtom(t *Template) relation.Atom {
-	rt := p.rt[t.ID]
-	vcols := make([]string, t.N)
-	vars := make([]string, 0, t.N+2)
-	vars = append(vars, "qid")
-	for i := 0; i < t.N; i++ {
-		vcols[i] = fmt.Sprintf("v%d", i)
-		vars = append(vars, vcols[i])
-	}
-	vars = append(vars, "wl")
-	if p.rtDirty[t.ID] || p.rtIndex[t.ID] == nil {
-		p.rtIndex[t.ID] = rt.BuildIndex(vcols...)
-		p.rtDirty[t.ID] = false
-	}
-	return relation.Atom{Name: "RT", Rel: rt, Vars: vars, Idx: p.rtIndex[t.ID], IdxVars: vcols}
 }
 
 func (t *Template) headVars() []string {
@@ -503,65 +543,6 @@ func (t *Template) headVars() []string {
 	}
 	head = append(head, "wl")
 	return head
-}
-
-// evalTemplatesBasic implements Algorithm 1: per template, evaluate the
-// conjunctive query CQ_T over the witness relations. The value-join pairs
-// (the Rdoc ⋈ RdocW core) are recomputed per template from the incremental
-// string index — no sharing across templates, which is precisely what the
-// Section-5 optimization adds.
-func (p *Processor) evalTemplatesBasic(w *CurrentWitness, d *xmldoc.Document) []Match {
-	var out []Match
-	var subs *docSubsets
-	for _, t := range p.templateList {
-		tcq := time.Now()
-		// Fresh per-template value-join pair relation
-		// Rvj(docid, nodeL, nodeR, strVal). Recomputing it per template
-		// is exactly the redundancy Section 5 removes.
-		rvj := relation.New("docid", "nodeL", "nodeR", "strVal")
-		perDoc := map[xmldoc.DocID]int{}
-		for _, row := range w.RdocW.Rows {
-			s := row[1].S
-			for _, ri := range p.state.rdocByStr[s] {
-				dt := p.state.Rdoc.Rows[ri]
-				rvj.Insert(dt[0], dt[1], row[0], dt[2])
-				perDoc[xmldoc.DocID(dt[0].I)]++
-			}
-		}
-		if rvj.Len() == 0 {
-			p.stats.CQ += time.Since(tcq)
-			continue
-		}
-		if p.useRTDriven(t, perDoc) {
-			p.stats.RTPlans++
-			if subs == nil {
-				subs = newDocSubsets(p.state, w)
-			}
-			out = append(out, p.evalTemplateRTDriven(t, w, rvj, subs, d)...)
-			p.stats.CQ += time.Since(tcq)
-			continue
-		}
-		p.stats.WitnessPlans++
-		// Interleaved atom order: each value join is immediately
-		// followed by the structural edges anchoring its endpoints,
-		// walking up to the side roots, so every join is selective.
-		atoms := make([]relation.Atom, 0, 2*len(t.VJ)+t.N+2)
-		emitted := map[[2]int]bool{}
-		rootDone := map[Side]bool{}
-		for k, e := range t.VJ {
-			atoms = append(atoms, relation.Atom{
-				Name: "Rvj", Rel: rvj,
-				Vars: []string{"docid", nvar(e[0]), nvar(e[1]), svar(k)},
-			})
-			atoms = p.appendAnchors(atoms, t, w, e[0], Left, emitted, rootDone)
-			atoms = p.appendAnchors(atoms, t, w, e[1], Right, emitted, rootDone)
-		}
-		atoms = append(atoms, p.rtAtom(t))
-		rout := relation.EvalConjunctiveOrdered(atoms, t.headVars())
-		p.stats.CQ += time.Since(tcq)
-		out = append(out, p.emit(t, rout, d)...)
-	}
-	return out
 }
 
 // useRTDriven decides the physical plan for one template against the
@@ -669,108 +650,10 @@ func (p *Processor) emit(t *Template, rout *relation.Relation, d *xmldoc.Documen
 	return out
 }
 
-// evalTemplatesViewMat implements Algorithm 4: compute the common string set
-// STR, obtain the RL slices from the view cache (computing E_{L,s} on
-// misses), compute the RR slices, and evaluate every template's conjunctive
-// query against the shared RL/RR views.
-func (p *Processor) evalTemplatesViewMat(w *CurrentWitness, d *xmldoc.Document) []Match {
-	// STR: distinct string values common to RdocW and Rdoc (line 2).
-	t0 := time.Now()
-	var strs []string
-	seen := map[string]bool{}
-	for _, row := range w.RdocW.Rows {
-		s := row[1].S
-		if !seen[s] && p.state.HasString(s) {
-			seen[s] = true
-			strs = append(strs, s)
-		}
-	}
-	sort.Strings(strs)
-	p.stats.Rvj += time.Since(t0)
-	if len(strs) == 0 {
-		return nil
-	}
-
-	// RL: union of cached/computed slices (lines 3-7).
-	t1 := time.Now()
-	rl := relation.New("docid", "var1", "var2", "node1", "node2", "strVal")
-	for _, s := range strs {
-		slice, ok := p.cache.Get(s)
-		if !ok {
-			slice = p.state.SliceEL(s)
-			p.cache.Put(s, slice)
-		}
-		rl.UnionInPlace(slice)
-	}
-	p.stats.RL += time.Since(t1)
-
-	// RR: σ_strVal∈STR(RdocW) ⋈ RbinW on node2 (line 8).
-	t2 := time.Now()
-	strOf := make(map[int64]string, w.RdocW.Len())
-	for _, row := range w.RdocW.Rows {
-		strOf[row[0].I] = row[1].S
-	}
-	rr := relation.New("var1", "var2", "node1", "node2", "strVal")
-	for _, row := range w.RbinW.Rows {
-		s, ok := strOf[row[3].I]
-		if !ok || !seen[s] {
-			continue
-		}
-		rr.Insert(row[0], row[1], row[2], row[3], relation.Str(s))
-	}
-	w.rrSlices = rr
-	p.stats.RR += time.Since(t2)
-
-	// Per-document fan-out of the shared left view, for plan choice.
-	perDoc := map[xmldoc.DocID]int{}
-	docidCol := rl.Schema.Col("docid")
-	for _, row := range rl.Rows {
-		perDoc[xmldoc.DocID(row[docidCol].I)]++
-	}
-
-	var out []Match
-	var subs *docSubsets
-	var rvjShared *relation.Relation
-	for _, t := range p.templateList {
-		if p.useRTDriven(t, perDoc) {
-			p.stats.RTPlans++
-			// The value-join pair relation is computed once and
-			// shared across all RT-driven templates — the
-			// Section-5 sharing applies to this plan too.
-			if rvjShared == nil {
-				t0 := time.Now()
-				rvjShared = relation.New("docid", "nodeL", "nodeR", "strVal")
-				for _, row := range w.RdocW.Rows {
-					s := row[1].S
-					for _, ri := range p.state.rdocByStr[s] {
-						dt := p.state.Rdoc.Rows[ri]
-						rvjShared.Insert(dt[0], dt[1], row[0], dt[2])
-					}
-				}
-				p.stats.Rvj += time.Since(t0)
-			}
-			if subs == nil {
-				subs = newDocSubsets(p.state, w)
-			}
-			tcq := time.Now()
-			out = append(out, p.evalTemplateRTDriven(t, w, rvjShared, subs, d)...)
-			p.stats.CQ += time.Since(tcq)
-			continue
-		}
-		p.stats.WitnessPlans++
-		tcq := time.Now()
-		atoms := p.viewMatAtoms(t, w, rl, rr)
-		rout := relation.EvalConjunctiveOrdered(atoms, t.headVars())
-		p.stats.CQ += time.Since(tcq)
-		out = append(out, p.emit(t, rout, d)...)
-	}
-	return out
-}
-
 // viewMatAtoms builds the Section-5 rewritten conjunctive query: the leaf
 // structural edges are folded into RL/RR; remaining structural edges and
 // single-node sides fall back to the witness relations.
-func (p *Processor) viewMatAtoms(t *Template, w *CurrentWitness, rl, rr *relation.Relation) []relation.Atom {
+func (p *Processor) viewMatAtoms(sh *shard, t *Template, w *CurrentWitness, rl, rr *relation.Relation) []relation.Atom {
 	var atoms []relation.Atom
 	emitted := map[[2]int]bool{}
 	rootDone := map[Side]bool{}
@@ -804,12 +687,13 @@ func (p *Processor) viewMatAtoms(t *Template, w *CurrentWitness, rl, rr *relatio
 			atoms = p.appendAnchors(atoms, t, w, pa, Right, emitted, rootDone)
 		}
 	}
-	atoms = append(atoms, p.rtAtom(t))
+	atoms = append(atoms, sh.rtAtom(t))
 	return atoms
 }
 
 // maintainCache implements Algorithm 5: fold the current document's RR
-// bindings into the cached RL slices so future documents find them.
+// bindings into the cached RL slices so future documents find them. Each
+// string's slice lives in the cache of the shard that owns the string.
 func (p *Processor) maintainCache(w *CurrentWitness) {
 	if w.rrSlices == nil {
 		return
@@ -817,7 +701,7 @@ func (p *Processor) maintainCache(w *CurrentWitness) {
 	did := relation.Int(int64(w.DocID))
 	for _, row := range w.rrSlices.Rows {
 		s := row[4].S
-		slice, ok := p.cache.Get(s)
+		slice, ok := p.shardOfString(s).cache.Get(s)
 		if !ok {
 			continue
 		}
