@@ -15,6 +15,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/sequential"
 	"repro/internal/workload"
+	"repro/internal/xmldoc"
 	"repro/internal/xpath"
 	"repro/internal/xscl"
 	"repro/internal/yfilter"
@@ -198,6 +199,44 @@ func BenchmarkWorkersSweep(b *testing.B) {
 				for i := 0; i < b.N; i++ {
 					p.Process("S", c.Item(srng, 500+i))
 				}
+			})
+		}
+	}
+}
+
+// BenchmarkPipelineSweep measures end-to-end batch ingest (Stage 1 + Stage 2
+// + maintenance, wall clock) at increasing pipeline depths on the
+// multi-template RSS workload — the scaling benchmark of the batched
+// Stage-1/Stage-2 overlap. Depth 1 is the sequential per-document baseline.
+func BenchmarkPipelineSweep(b *testing.B) {
+	for _, depth := range []int{1, 2, 4, 8} {
+		for _, viewMat := range []bool{false, true} {
+			name := fmt.Sprintf("depth=%d/viewmat=%v", depth, viewMat)
+			b.Run(name, func(b *testing.B) {
+				c := workload.DefaultRSS()
+				rng := rand.New(rand.NewSource(1))
+				p := core.NewProcessor(core.Config{ViewMaterialization: viewMat, PipelineDepth: depth})
+				for _, q := range c.Queries(rng, 5000) {
+					p.MustRegister(q)
+				}
+				srng := rand.New(rand.NewSource(3))
+				for _, d := range c.Stream(srng, 500) {
+					p.Process("S", d)
+				}
+				const batch = 32
+				next := 500
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					docs := make([]*xmldoc.Document, batch)
+					for j := range docs {
+						docs[j] = c.Item(srng, next)
+						next++
+					}
+					b.StartTimer()
+					p.ProcessBatch("S", docs)
+				}
+				b.ReportMetric(batch, "docs/op")
 			})
 		}
 	}

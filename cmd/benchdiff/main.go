@@ -1,0 +1,191 @@
+// Command benchdiff compares two mmqjp-bench JSON result files and fails
+// when a throughput series regressed beyond a threshold — the comparison
+// behind the CI bench-regression gate.
+//
+// Usage:
+//
+//	benchdiff -baseline BENCH_baseline.json -current BENCH_pr.json -threshold 20
+//
+// Every column whose header marks a throughput series ("ev/s" or "docs/s";
+// higher is better) is compared row by row, keyed on each row's first
+// column (the sweep parameter). With -normalize (the default) the current
+// values are first divided by the median current/baseline ratio across all
+// compared series: a uniform machine-speed difference between the machine
+// that generated the baseline and the machine running the gate cancels
+// out, and the gate flags series that regressed relative to the rest —
+// which is what a localized perf regression looks like. Use
+// -normalize=false for a same-machine absolute comparison.
+//
+// Experiments or rows present on only one side are reported but never fail
+// the gate, so adding an experiment does not require regenerating the
+// baseline. Exit status is 1 when any series regressed by more than
+// -threshold percent, 0 otherwise.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		baseline  = flag.String("baseline", "BENCH_baseline.json", "baseline results (mmqjp-bench -json output)")
+		current   = flag.String("current", "BENCH_pr.json", "results under test (mmqjp-bench -json output)")
+		threshold = flag.Float64("threshold", 20, "maximum allowed throughput regression, in percent")
+		normalize = flag.Bool("normalize", true, "divide out the median current/baseline speed ratio before comparing")
+	)
+	flag.Parse()
+
+	base, err := load(*baseline)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	cur, err := load(*current)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	report, regressed := diff(base, cur, *threshold, *normalize)
+	fmt.Print(report)
+	if regressed {
+		fmt.Printf("FAIL: throughput regressed more than %.0f%% against %s\n", *threshold, *baseline)
+		os.Exit(1)
+	}
+	fmt.Printf("OK: no series regressed more than %.0f%%\n", *threshold)
+}
+
+func load(path string) ([]bench.Result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rs []bench.Result
+	if err := json.Unmarshal(data, &rs); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return rs, nil
+}
+
+// isThroughputCol reports whether a column header names a higher-is-better
+// throughput series.
+func isThroughputCol(name string) bool {
+	return strings.Contains(name, "ev/s") || strings.Contains(name, "docs/s")
+}
+
+// series is one compared throughput cell: a baseline and current value for
+// the same experiment, row key, and column.
+type series struct {
+	label     string
+	base, cur float64
+}
+
+// collect pairs up every shared throughput cell of base and cur, returning
+// skip notes for the cells present on only one side.
+func collect(base, cur []bench.Result) (cells []series, notes []string) {
+	baseByID := map[string]bench.Result{}
+	for _, r := range base {
+		baseByID[r.ID] = r
+	}
+	for _, c := range cur {
+		b, ok := baseByID[c.ID]
+		if !ok {
+			notes = append(notes, fmt.Sprintf("%s: no baseline — skipped", c.ID))
+			continue
+		}
+		baseCol := map[string]int{}
+		for i, name := range b.Columns {
+			baseCol[name] = i
+		}
+		baseRow := map[string][]string{}
+		for _, row := range b.Rows {
+			if len(row) > 0 {
+				baseRow[row[0]] = row
+			}
+		}
+		for _, row := range c.Rows {
+			if len(row) == 0 {
+				continue
+			}
+			brow, ok := baseRow[row[0]]
+			if !ok {
+				notes = append(notes, fmt.Sprintf("%s[%s]: no baseline row — skipped", c.ID, row[0]))
+				continue
+			}
+			for j, name := range c.Columns {
+				if !isThroughputCol(name) || j >= len(row) {
+					continue
+				}
+				bj, ok := baseCol[name]
+				if !ok || bj >= len(brow) {
+					notes = append(notes, fmt.Sprintf("%s[%s] %s: no baseline column — skipped", c.ID, row[0], name))
+					continue
+				}
+				bv, berr := strconv.ParseFloat(brow[bj], 64)
+				cv, cerr := strconv.ParseFloat(row[j], 64)
+				if berr != nil || cerr != nil || bv <= 0 {
+					continue
+				}
+				cells = append(cells, series{
+					label: fmt.Sprintf("%s[%s] %s", c.ID, row[0], name),
+					base:  bv, cur: cv,
+				})
+			}
+		}
+	}
+	return cells, notes
+}
+
+// speedFactor is the median current/baseline ratio across all compared
+// cells — the uniform machine-speed difference to divide out.
+func speedFactor(cells []series) float64 {
+	if len(cells) == 0 {
+		return 1
+	}
+	ratios := make([]float64, len(cells))
+	for i, c := range cells {
+		ratios[i] = c.cur / c.base
+	}
+	sort.Float64s(ratios)
+	mid := len(ratios) / 2
+	if len(ratios)%2 == 1 {
+		return ratios[mid]
+	}
+	return (ratios[mid-1] + ratios[mid]) / 2
+}
+
+// diff renders a comparison of every shared throughput series and reports
+// whether any regressed beyond thresholdPct (after dividing out the median
+// speed ratio when normalize is set).
+func diff(base, cur []bench.Result, thresholdPct float64, normalize bool) (string, bool) {
+	cells, notes := collect(base, cur)
+	var sb strings.Builder
+	for _, n := range notes {
+		sb.WriteString(n)
+		sb.WriteByte('\n')
+	}
+	factor := 1.0
+	if normalize {
+		factor = speedFactor(cells)
+		fmt.Fprintf(&sb, "normalizing by median speed ratio %.3f (%d series)\n", factor, len(cells))
+	}
+	regressed := false
+	for _, c := range cells {
+		deltaPct := (c.cur/factor - c.base) / c.base * 100
+		verdict := "ok"
+		if deltaPct < -thresholdPct {
+			verdict = "REGRESSION"
+			regressed = true
+		}
+		fmt.Fprintf(&sb, "%s: %.3f -> %.3f (%+.1f%% normalized) %s\n",
+			c.label, c.base, c.cur, deltaPct, verdict)
+	}
+	return sb.String(), regressed
+}

@@ -1,0 +1,118 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+func mkResult(id string, rows ...[]string) bench.Result {
+	return bench.Result{
+		ID:      id,
+		Columns: []string{"depth", "MMQJP (docs/s)", "templates"},
+		Rows:    rows,
+	}
+}
+
+func TestDiffPassesWithinThreshold(t *testing.T) {
+	base := []bench.Result{mkResult("pipeline", []string{"1", "1000.000", "5"})}
+	cur := []bench.Result{mkResult("pipeline", []string{"1", "850.000", "5"})}
+	report, regressed := diff(base, cur, 20, false)
+	if regressed {
+		t.Fatalf("-15%% flagged as regression:\n%s", report)
+	}
+	if !strings.Contains(report, "ok") {
+		t.Errorf("report missing ok verdict:\n%s", report)
+	}
+}
+
+func TestDiffFailsBeyondThreshold(t *testing.T) {
+	base := []bench.Result{mkResult("pipeline", []string{"1", "1000.000", "5"})}
+	cur := []bench.Result{mkResult("pipeline", []string{"1", "700.000", "5"})}
+	report, regressed := diff(base, cur, 20, false)
+	if !regressed {
+		t.Fatalf("-30%% not flagged:\n%s", report)
+	}
+	if !strings.Contains(report, "REGRESSION") {
+		t.Errorf("report missing REGRESSION verdict:\n%s", report)
+	}
+}
+
+func TestDiffImprovementPasses(t *testing.T) {
+	base := []bench.Result{mkResult("pipeline", []string{"1", "1000.000", "5"})}
+	cur := []bench.Result{mkResult("pipeline", []string{"1", "5000.000", "5"})}
+	if report, regressed := diff(base, cur, 20, false); regressed {
+		t.Fatalf("improvement flagged as regression:\n%s", report)
+	}
+}
+
+func TestDiffSkipsUnknownExperimentAndRow(t *testing.T) {
+	base := []bench.Result{mkResult("pipeline", []string{"1", "1000.000", "5"})}
+	cur := []bench.Result{
+		mkResult("pipeline", []string{"1", "990.000", "5"}, []string{"2", "1500.000", "5"}),
+		mkResult("brandnew", []string{"1", "1.000", "5"}),
+	}
+	report, regressed := diff(base, cur, 20, false)
+	if regressed {
+		t.Fatalf("skips caused failure:\n%s", report)
+	}
+	if !strings.Contains(report, "brandnew: no baseline — skipped") {
+		t.Errorf("missing experiment skip note:\n%s", report)
+	}
+	if !strings.Contains(report, "pipeline[2]: no baseline row — skipped") {
+		t.Errorf("missing row skip note:\n%s", report)
+	}
+}
+
+func TestDiffIgnoresNonThroughputColumns(t *testing.T) {
+	// The templates column shrinking is not a throughput regression.
+	base := []bench.Result{mkResult("pipeline", []string{"1", "1000.000", "100"})}
+	cur := []bench.Result{mkResult("pipeline", []string{"1", "1000.000", "5"})}
+	if report, regressed := diff(base, cur, 20, false); regressed {
+		t.Fatalf("non-throughput column compared:\n%s", report)
+	}
+}
+
+func TestDiffNormalizesMachineSpeed(t *testing.T) {
+	// The gate machine is uniformly half the speed of the baseline
+	// machine: raw comparison fails, normalized comparison passes.
+	base := []bench.Result{mkResult("pipeline",
+		[]string{"1", "1000.000", "5"},
+		[]string{"2", "2000.000", "5"},
+		[]string{"4", "3000.000", "5"},
+	)}
+	cur := []bench.Result{mkResult("pipeline",
+		[]string{"1", "500.000", "5"},
+		[]string{"2", "1000.000", "5"},
+		[]string{"4", "1500.000", "5"},
+	)}
+	if report, regressed := diff(base, cur, 20, false); !regressed {
+		t.Fatalf("raw comparison missed a uniform halving:\n%s", report)
+	}
+	if report, regressed := diff(base, cur, 20, true); regressed {
+		t.Fatalf("normalized comparison flagged a pure machine-speed difference:\n%s", report)
+	}
+}
+
+func TestDiffNormalizedCatchesLocalizedRegression(t *testing.T) {
+	// Same machine speed overall (median ratio 1.0), but one series lost
+	// 70%: the normalized gate must still flag it.
+	base := []bench.Result{mkResult("pipeline",
+		[]string{"1", "1000.000", "5"},
+		[]string{"2", "1000.000", "5"},
+		[]string{"4", "1000.000", "5"},
+	)}
+	cur := []bench.Result{mkResult("pipeline",
+		[]string{"1", "1000.000", "5"},
+		[]string{"2", "1000.000", "5"},
+		[]string{"4", "300.000", "5"},
+	)}
+	report, regressed := diff(base, cur, 20, true)
+	if !regressed {
+		t.Fatalf("normalized comparison missed a localized regression:\n%s", report)
+	}
+	if !strings.Contains(report, "pipeline[4] MMQJP (docs/s)") || !strings.Contains(report, "REGRESSION") {
+		t.Errorf("wrong series flagged:\n%s", report)
+	}
+}

@@ -6,13 +6,19 @@
 //
 //	mmqjp-bench -experiment fig8            # one experiment
 //	mmqjp-bench -experiment all             # the full suite (paper order)
+//	mmqjp-bench -experiment workers,pipeline -json BENCH.json
 //	mmqjp-bench -experiment fig16 -rss-items 225000 -queries-sweep 10,100,1000,10000,100000,1000000
+//
+// With -json the results are additionally written to the given file as a
+// JSON array of result tables — the format cmd/benchdiff compares for the
+// CI bench-regression gate.
 //
 // Paper-scale runs take substantially longer than the defaults; see
 // EXPERIMENTS.md for the settings used to produce the recorded results.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -25,14 +31,16 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "experiment id (table3, fig8..fig16, workers) or 'all'")
+		experiment = flag.String("experiment", "all", "comma-separated experiment ids (table3, fig8..fig16, workers, pipeline) or 'all'")
 		seed       = flag.Int64("seed", 1, "workload generator seed")
 		sweep      = flag.String("queries-sweep", "", "comma-separated query counts for fig8/11/16 (default 10,100,1000,10000,100000)")
 		workers    = flag.String("workers-sweep", "", "comma-separated worker counts for the 'workers' experiment (default 1,2,4,8)")
+		pipeline   = flag.String("pipeline-sweep", "", "comma-separated pipeline depths for the 'pipeline' experiment (default 1,2,4,8)")
 		queries    = flag.Int("queries", 1000, "query count for fig9/10/12/13")
 		bigQueries = flag.Int("big-queries", 100000, "query count for fig14/15")
 		rssItems   = flag.Int("rss-items", 5000, "stream length for fig16 (paper: 225000)")
 		seqItems   = flag.Int("seq-rss-items", 0, "stream length cap for fig16 sequential runs (default: rss-items)")
+		jsonPath   = flag.String("json", "", "also write the results to this file as JSON (for benchdiff)")
 	)
 	flag.Parse()
 
@@ -61,11 +69,22 @@ func main() {
 	if *workers != "" {
 		opts.WorkerCounts = parseInts("-workers-sweep", *workers)
 	}
-
-	ids := []string{*experiment}
-	if *experiment == "all" {
-		ids = bench.All()
+	if *pipeline != "" {
+		opts.PipelineDepths = parseInts("-pipeline-sweep", *pipeline)
 	}
+
+	var ids []string
+	for _, id := range strings.Split(*experiment, ",") {
+		id = strings.TrimSpace(id)
+		if id == "all" {
+			ids = append(ids, bench.All()...)
+			continue
+		}
+		if id != "" {
+			ids = append(ids, id)
+		}
+	}
+	var results []bench.Result
 	for _, id := range ids {
 		start := time.Now()
 		res, err := bench.Run(id, opts)
@@ -73,7 +92,20 @@ func main() {
 			fmt.Fprintf(os.Stderr, "mmqjp-bench: %v\n", err)
 			os.Exit(2)
 		}
+		results = append(results, res)
 		fmt.Println(res.String())
 		fmt.Printf("(%s completed in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+	if *jsonPath != "" {
+		data, err := json.MarshalIndent(results, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mmqjp-bench: marshal results: %v\n", err)
+			os.Exit(2)
+		}
+		if err := os.WriteFile(*jsonPath, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "mmqjp-bench: write %s: %v\n", *jsonPath, err)
+			os.Exit(2)
+		}
+		fmt.Printf("wrote %d result tables to %s\n", len(results), *jsonPath)
 	}
 }

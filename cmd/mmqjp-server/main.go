@@ -7,8 +7,16 @@
 //
 //	SUB <xscl-query>             -> OK <qid> | ERR <message>
 //	PUB <stream> <ts> <xml>      -> OK <matches> | ERR <message>
+//	PUBB <stream> <n>            -> OK <total matches> | ERR <message>
 //	STATS                        -> OK <engine stats>
 //	QUIT                         -> closes the connection
+//
+// PUBB publishes a batch: the header line is followed by exactly <n> lines
+// (n ≤ 65536), each `<ts> <xml>`, ingested in order through the engine's
+// pipelined batch path (Stage 1 of upcoming documents overlaps Stage-2
+// consumption, depth set by -pipeline). A malformed document line rejects
+// the whole batch after the announced lines are consumed; no document of a
+// rejected batch is published.
 //
 // Matches are delivered asynchronously as
 //
@@ -64,6 +72,7 @@ func main() {
 	addr := flag.String("addr", ":7878", "listen address")
 	viewMat := flag.Bool("viewmat", true, "enable view materialization")
 	workers := flag.Int("workers", runtime.NumCPU(), "Stage-2 worker goroutines per publish (1 = sequential)")
+	pipeline := flag.Int("pipeline", runtime.NumCPU(), "ingest pipeline depth for PUBB batches (1 = sequential)")
 	flag.Parse()
 
 	kind := mmqjp.ProcessorMMQJP
@@ -71,7 +80,7 @@ func main() {
 		kind = mmqjp.ProcessorViewMat
 	}
 	s := &server{
-		eng:    mmqjp.New(mmqjp.Options{Processor: kind, Parallelism: *workers}),
+		eng:    mmqjp.New(mmqjp.Options{Processor: kind, Parallelism: *workers, PipelineDepth: *pipeline}),
 		owners: map[mmqjp.QueryID]*client{},
 	}
 	ln, err := net.Listen("tcp", *addr)
@@ -104,6 +113,8 @@ func (s *server) serve(c *client) {
 			s.handleSub(c, rest)
 		case "PUB":
 			s.handlePub(c, rest)
+		case "PUBB":
+			s.handlePubBatch(c, sc, rest)
 		case "STATS":
 			c.send("OK " + s.eng.Stats())
 		case "QUIT":
@@ -151,6 +162,67 @@ func (s *server) handlePub(c *client, rest string) {
 		c.send("ERR " + err.Error())
 		return
 	}
+	s.deliver(matches)
+	c.send(fmt.Sprintf("OK %d", len(matches)))
+}
+
+// maxBatchDocs bounds the document count a PUBB header may announce, so a
+// hostile or mistyped count cannot drive a huge allocation. An oversized
+// count is rejected before any document line is read (the client must
+// resynchronize, exactly as after a malformed header).
+const maxBatchDocs = 65536
+
+// handlePubBatch reads the <n> document lines announced by a PUBB header
+// and publishes them through the engine's pipelined batch path.
+func (s *server) handlePubBatch(c *client, sc *bufio.Scanner, rest string) {
+	stream, nText, ok := cut(rest)
+	if !ok || nText == "" {
+		c.send("ERR usage: PUBB <stream> <n>, then n lines of <ts> <xml>")
+		return
+	}
+	n, err := strconv.Atoi(nText)
+	if err != nil || n < 0 || n > maxBatchDocs {
+		c.send(fmt.Sprintf("ERR bad batch count %s (max %d)", nText, maxBatchDocs))
+		return
+	}
+	events := make([]mmqjp.XMLEvent, 0, n)
+	badLine := ""
+	for i := 0; i < n; i++ {
+		// Consume every announced line even after an error, so the
+		// connection stays line-synchronized.
+		if !sc.Scan() {
+			c.send("ERR truncated batch")
+			return
+		}
+		tsText, xmlText, ok := cut(strings.TrimSpace(sc.Text()))
+		ts, perr := strconv.ParseInt(tsText, 10, 64)
+		if !ok || xmlText == "" || perr != nil {
+			if badLine == "" {
+				badLine = fmt.Sprintf("bad batch document %d: want <ts> <xml>", i+1)
+			}
+			continue
+		}
+		events = append(events, mmqjp.XMLEvent{XML: xmlText, DocID: s.nextDoc.Add(1), Timestamp: ts})
+	}
+	if badLine != "" {
+		c.send("ERR " + badLine)
+		return
+	}
+	batches, err := s.eng.PublishXMLBatch(stream, events)
+	if err != nil {
+		c.send("ERR " + err.Error())
+		return
+	}
+	total := 0
+	for _, matches := range batches {
+		total += len(matches)
+		s.deliver(matches)
+	}
+	c.send(fmt.Sprintf("OK %d", total))
+}
+
+// deliver pushes MATCH lines to the connections owning the matched queries.
+func (s *server) deliver(matches []mmqjp.Match) {
 	s.mu.Lock()
 	deliveries := make([]struct {
 		to   *client
@@ -171,7 +243,6 @@ func (s *server) handlePub(c *client, rest string) {
 	for _, d := range deliveries {
 		d.to.send(d.line)
 	}
-	c.send(fmt.Sprintf("OK %d", len(matches)))
 }
 
 func cut(s string) (first, rest string, ok bool) {

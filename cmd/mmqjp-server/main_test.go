@@ -17,7 +17,7 @@ import (
 func startTestServer(t *testing.T) string {
 	t.Helper()
 	s := &server{
-		eng:    mmqjp.New(mmqjp.Options{Processor: mmqjp.ProcessorViewMat, Parallelism: 4}),
+		eng:    mmqjp.New(mmqjp.Options{Processor: mmqjp.ProcessorViewMat, Parallelism: 4, PipelineDepth: 4}),
 		owners: map[mmqjp.QueryID]*client{},
 	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -90,6 +90,84 @@ func TestServerSubPubMatch(t *testing.T) {
 	}
 	if !strings.Contains(lines, "OK 1") {
 		t.Errorf("missing pub ack: %q %q", got1, got2)
+	}
+}
+
+// TestServerPubBatch publishes a PUBB batch and expects the per-document
+// match pushes followed by the single batch ack.
+func TestServerPubBatch(t *testing.T) {
+	addr := startTestServer(t)
+	c := dialTest(t, addr)
+
+	c.sendLine(t, "SUB S//a->x FOLLOWED BY{x=y, 100} S//b->y")
+	if got := c.readLine(t); got != "OK 0" {
+		t.Fatalf("SUB -> %q", got)
+	}
+	c.sendLine(t, "PUBB S 3")
+	c.sendLine(t, "1 <a>k</a>")
+	c.sendLine(t, "2 <b>k</b>")
+	c.sendLine(t, "3 <b>k</b>")
+	matches, acked := 0, false
+	for i := 0; i < 3; i++ {
+		switch got := c.readLine(t); {
+		case strings.HasPrefix(got, "MATCH 0 left=1@1"):
+			matches++
+		case got == "OK 2":
+			acked = true
+		default:
+			t.Fatalf("unexpected line %q", got)
+		}
+	}
+	if matches != 2 || !acked {
+		t.Errorf("got %d matches, acked=%v, want 2 matches and OK 2", matches, acked)
+	}
+}
+
+// TestServerPubBatchErrors checks that a malformed batch is rejected whole
+// and leaves the connection line-synchronized and the engine state untouched.
+func TestServerPubBatchErrors(t *testing.T) {
+	addr := startTestServer(t)
+	c := dialTest(t, addr)
+
+	c.sendLine(t, "SUB S//a->x FOLLOWED BY{x=y, 100} S//b->y")
+	if got := c.readLine(t); got != "OK 0" {
+		t.Fatalf("SUB -> %q", got)
+	}
+	c.sendLine(t, "PUBB S")
+	if got := c.readLine(t); !strings.HasPrefix(got, "ERR") {
+		t.Errorf("missing count -> %q", got)
+	}
+	c.sendLine(t, "PUBB S notanumber")
+	if got := c.readLine(t); !strings.HasPrefix(got, "ERR") {
+		t.Errorf("bad count -> %q", got)
+	}
+	// An absurd count is rejected up front instead of sizing an
+	// allocation from the header.
+	c.sendLine(t, "PUBB S 9000000000")
+	if got := c.readLine(t); !strings.HasPrefix(got, "ERR") {
+		t.Errorf("oversized count -> %q", got)
+	}
+	// One bad timestamp rejects the batch; the good <a> line must not have
+	// entered the join state.
+	c.sendLine(t, "PUBB S 2")
+	c.sendLine(t, "1 <a>k</a>")
+	c.sendLine(t, "notanumber <b>k</b>")
+	if got := c.readLine(t); !strings.HasPrefix(got, "ERR") {
+		t.Errorf("bad batch line -> %q", got)
+	}
+	// A malformed XML document is caught by the parser and also rejects
+	// the batch whole.
+	c.sendLine(t, "PUBB S 2")
+	c.sendLine(t, "1 <a>k</a>")
+	c.sendLine(t, "2 <unclosed>")
+	if got := c.readLine(t); !strings.HasPrefix(got, "ERR") {
+		t.Errorf("bad batch xml -> %q", got)
+	}
+	// Still line-synchronized, and the rejected <a> documents are absent:
+	// a following <b> has nothing to join with.
+	c.sendLine(t, "PUB S 5 <b>k</b>")
+	if got := c.readLine(t); got != "OK 0" {
+		t.Errorf("post-batch PUB -> %q (rejected batch leaked state?)", got)
 	}
 }
 

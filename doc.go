@@ -27,7 +27,12 @@
 // parallelized across query templates when Options.Parallelism is set:
 // templates are sharded over a bounded worker pool with per-shard state
 // ownership, and matches are merged deterministically, so output is
-// identical for every worker count (see DESIGN.md).
+// identical for every worker count (see DESIGN.md). Batch publishes
+// (PublishBatch, PublishXMLBatch) further pipeline ingestion when
+// Options.PipelineDepth is set: Stage 1 of up to PipelineDepth upcoming
+// documents runs ahead in workers while Stage 2, the state merge, and
+// window GC are applied strictly in arrival order, so batch output is
+// identical to per-document Publish for every depth.
 //
 // # Quick start
 //

@@ -50,6 +50,13 @@ type Options struct {
 	// Match output is identical for every setting. Ignored by
 	// ProcessorSequential, which exists for benchmarking only.
 	Parallelism int
+	// PipelineDepth bounds how many upcoming documents of a PublishBatch
+	// call may have Stage 1 (XML parse, shared-NFA match, witness
+	// construction) running ahead of the in-order Stage-2 consumption
+	// (0 or 1 = fully sequential). Match output is identical for every
+	// depth; per-Publish calls are unaffected. Ignored by
+	// ProcessorSequential.
+	PipelineDepth int
 }
 
 // MaxCompositionDepth bounds cascading through PUBLISH streams, guarding
@@ -110,6 +117,7 @@ func New(opts Options) *Engine {
 			ViewCacheCapacity:   opts.ViewCacheCapacity,
 			RetainDocuments:     opts.RetainDocuments,
 			Workers:             opts.Parallelism,
+			PipelineDepth:       opts.PipelineDepth,
 		})
 	}
 	return e
@@ -216,10 +224,16 @@ func (e *Engine) publish(stream string, d *Document, depth int) []Match {
 			})
 		}
 	}
+	return e.cascade(out, depth)
+}
+
+// cascade republishes each PUBLISH match of out as a derived document and
+// appends the resulting matches. Derived matches cascade recursively inside
+// their own publish call, so only the original slice is scanned here.
+func (e *Engine) cascade(out []Match, depth int) []Match {
 	if !e.opts.EnableComposition {
 		return out
 	}
-	// Cascade: republish each PUBLISH match as a derived document.
 	for _, m := range out {
 		if m.Publish == "" {
 			continue
@@ -235,6 +249,90 @@ func (e *Engine) publish(stream string, d *Document, depth int) []Match {
 		out = append(out, e.publish(m.Publish, derived, depth+1)...)
 	}
 	return out
+}
+
+// PublishBatch processes docs on stream in arrival order and returns each
+// document's matches — exactly what len(docs) consecutive Publish calls
+// would return, for every Options.PipelineDepth. With PipelineDepth > 1 the
+// Stage-1 work (shared-NFA match, witness construction) of up to
+// PipelineDepth upcoming documents runs in worker goroutines while Stage 2,
+// the state merge, and window GC are applied strictly in arrival order, so
+// join state and window semantics are identical to the sequential path.
+// Like Publish, the whole batch is serialized against other writers.
+func (e *Engine) PublishBatch(stream string, docs []*Document) [][]Match {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([][]Match, len(docs))
+	if e.seq != nil {
+		for i, d := range docs {
+			out[i] = e.publish(stream, d, 0)
+		}
+		return out
+	}
+	if e.opts.RetainDocuments {
+		for _, d := range docs {
+			e.docs[d.ID] = d
+		}
+	}
+	e.proc.ProcessBatchFunc(stream, docs, func(i int, cms []core.Match) {
+		var ms []Match
+		for _, m := range cms {
+			ms = append(ms, Match{
+				Query:   QueryID(m.Query),
+				Publish: e.queries[m.Query].Publish,
+				LeftDoc: int64(m.LeftDoc), RightDoc: int64(m.RightDoc),
+				LeftTS: int64(m.LeftTS), RightTS: int64(m.RightTS),
+				leftRoot: m.LeftRoot, rightRoot: m.RightRoot,
+			})
+		}
+		// Composition cascades run here, between batch documents, at the
+		// same point the per-document Publish path would run them; the
+		// derived documents' Process calls are safe alongside the
+		// pipeline's Stage-1 workers, which never touch the join state.
+		out[i] = e.cascade(ms, 0)
+	})
+	return out
+}
+
+// XMLEvent is one document of a PublishXMLBatch: the raw XML text plus the
+// document id and timestamp the corresponding PublishXML call would receive.
+type XMLEvent struct {
+	XML       string
+	DocID     int64
+	Timestamp int64
+}
+
+// PublishXMLBatch parses a batch of XML documents and publishes them in
+// order via PublishBatch. Parsing runs concurrently (bounded by
+// Options.PipelineDepth) before the batch enters the engine; a parse error
+// on any document fails the whole batch without publishing anything.
+func (e *Engine) PublishXMLBatch(stream string, events []XMLEvent) ([][]Match, error) {
+	docs := make([]*Document, len(events))
+	errs := make([]error, len(events))
+	if depth := e.opts.PipelineDepth; depth > 1 && len(events) > 1 {
+		sem := make(chan struct{}, depth)
+		var wg sync.WaitGroup
+		for i := range events {
+			sem <- struct{}{}
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				docs[i], errs[i] = ParseDocument(events[i].XML, events[i].DocID, events[i].Timestamp)
+			}(i)
+		}
+		wg.Wait()
+	} else {
+		for i, ev := range events {
+			docs[i], errs[i] = ParseDocument(ev.XML, ev.DocID, ev.Timestamp)
+		}
+	}
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("document %d (id %d): %w", i, events[i].DocID, err)
+		}
+	}
+	return e.PublishBatch(stream, docs), nil
 }
 
 // DroppedCascades reports derived documents discarded at the composition
@@ -323,9 +421,9 @@ func (e *Engine) Stats() string {
 		return fmt.Sprintf("sequential: %d queries, join time %v", e.seq.NumQueries(), e.seq.JoinTime())
 	}
 	s := e.proc.Stats()
-	return fmt.Sprintf("mmqjp: %d queries, %d templates, %d docs, %d matches, xpath %v, witness %v, rvj %v, rl %v, rr %v, cq %v, maintain %v",
+	return fmt.Sprintf("mmqjp: %d queries, %d templates, %d docs, %d matches, xpath %v, witness %v, rvj %v, rl %v, rr %v, cq %v, maintain %v, stage1 %v, stage2 %v",
 		e.proc.NumQueries(), e.proc.NumTemplates(), s.Documents, s.Matches,
-		s.XPath, s.Witness, s.Rvj, s.RL, s.RR, s.CQ, s.Maintain)
+		s.XPath, s.Witness, s.Rvj, s.RL, s.RR, s.CQ, s.Maintain, s.Stage1Wall, s.Stage2Wall)
 }
 
 // Document is a parsed XML document with stream metadata. Construct one with

@@ -43,12 +43,13 @@ func (m Mode) String() string {
 	}
 }
 
-// Result is one experiment's output table.
+// Result is one experiment's output table. The JSON form is what
+// cmd/mmqjp-bench -json writes and cmd/benchdiff compares.
 type Result struct {
-	ID      string // "fig8", "table3", ...
-	Title   string
-	Columns []string
-	Rows    [][]string
+	ID      string     `json:"id"` // "fig8", "table3", ...
+	Title   string     `json:"title"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
 }
 
 // String renders the result as an aligned text table.
@@ -96,6 +97,10 @@ type Options struct {
 	// experiment (not a paper figure: it measures the parallel
 	// template-sharded engine, default 1,2,4,8).
 	WorkerCounts []int
+	// PipelineDepths is the ingest-pipeline depth sweep of the "pipeline"
+	// experiment (not a paper figure: it measures the batched
+	// Stage-1/Stage-2 overlap, default 1,2,4,8; 1 = sequential baseline).
+	PipelineDepths []int
 }
 
 // Defaults fills zero fields.
@@ -123,6 +128,9 @@ func (o Options) Defaults() Options {
 	}
 	if len(o.WorkerCounts) == 0 {
 		o.WorkerCounts = []int{1, 2, 4, 8}
+	}
+	if len(o.PipelineDepths) == 0 {
+		o.PipelineDepths = []int{1, 2, 4, 8}
 	}
 	return o
 }
@@ -418,6 +426,42 @@ func stage2Throughput(qs []*xscl.Query, stream []*xmldoc.Document, mode Mode, wo
 	return perSecond(len(stream), p.Stats().Stage2Wall), p.NumTemplates()
 }
 
+// PipelineSweep — not a paper figure: end-to-end ingest throughput
+// (documents/second of the full two-stage pipeline, wall clock of one
+// ProcessBatch over the whole stream) versus the batch-ingestion pipeline
+// depth on the multi-template RSS workload. Depth 1 is the sequential
+// per-document baseline; deeper pipelines overlap Stage 1 of upcoming
+// documents with the in-order Stage-2 consumption.
+func PipelineSweep(o Options) Result {
+	o = o.Defaults()
+	c := workload.DefaultRSS()
+	rng := rand.New(rand.NewSource(o.Seed))
+	qs := c.Queries(rng, o.Queries)
+	srng := rand.New(rand.NewSource(o.Seed + 7))
+	stream := c.Stream(srng, o.RSSItems)
+	res := Result{ID: "pipeline",
+		Title:   fmt.Sprintf("end-to-end ingest throughput vs pipeline depth (%d queries, %d items)", o.Queries, len(stream)),
+		Columns: []string{"depth", "MMQJP (docs/s)", "MMQJP+ViewMat (docs/s)", "templates"}}
+	for _, depth := range o.PipelineDepths {
+		basic, ntmpl := ingestThroughput(qs, stream, ModeMMQJP, depth)
+		vm, _ := ingestThroughput(qs, stream, ModeViewMat, depth)
+		res.Rows = append(res.Rows, []string{fmt.Sprint(depth), f(basic), f(vm), fmt.Sprint(ntmpl)})
+	}
+	return res
+}
+
+// ingestThroughput returns end-to-end documents/second of one ProcessBatch
+// over the stream at the given pipeline depth, plus the template count.
+func ingestThroughput(qs []*xscl.Query, stream []*xmldoc.Document, mode Mode, depth int) (float64, int) {
+	p := core.NewProcessor(core.Config{ViewMaterialization: mode == ModeViewMat, PipelineDepth: depth})
+	for _, q := range qs {
+		p.MustRegister(q)
+	}
+	start := time.Now()
+	p.ProcessBatch("S", stream)
+	return perSecond(len(stream), time.Since(start)), p.NumTemplates()
+}
+
 // Table3 — number of query templates vs number of value joins, for the flat
 // and the complex (three-level) schema, computed by exact enumeration.
 //
@@ -597,7 +641,7 @@ func sideComplex(part []int, pfx string) string {
 // All returns every experiment id: the paper's tables and figures in paper
 // order, then the repo's own scaling experiments.
 func All() []string {
-	return []string{"table3", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "workers"}
+	return []string{"table3", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "workers", "pipeline"}
 }
 
 // Run executes one experiment by id.
@@ -625,6 +669,8 @@ func Run(id string, o Options) (Result, error) {
 		return Fig16(o), nil
 	case "workers":
 		return WorkersSweep(o), nil
+	case "pipeline":
+		return PipelineSweep(o), nil
 	default:
 		return Result{}, fmt.Errorf("bench: unknown experiment %q (have %v)", id, All())
 	}

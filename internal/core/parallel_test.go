@@ -25,7 +25,10 @@ func renderMatches(ms []Match) string {
 
 // TestParallelDeterminism drives identical generated workloads through
 // Workers ∈ {1, 2, 3, 8} for both the basic and the view-materialization
-// path and requires byte-identical per-document match output.
+// path and requires byte-identical per-document match output; the same
+// workloads are then replayed through ProcessBatch at PipelineDepth
+// ∈ {0, 1, 2, 8}, which must also be byte-identical to the sequential
+// per-document reference.
 func TestParallelDeterminism(t *testing.T) {
 	rng := rand.New(rand.NewSource(505))
 	leafNames := []string{"a", "b", "c", "d", "e"}
@@ -67,6 +70,18 @@ func TestParallelDeterminism(t *testing.T) {
 					if got != ref[di] {
 						t.Fatalf("trial %d (deep=%v viewmat=%v): workers=%d diverges from sequential on doc %d:\nseq:\n%spar:\n%s",
 							trial, deep, viewMat, workers, di+1, ref[di], got)
+					}
+				}
+			}
+			for _, depth := range []int{0, 1, 2, 8} {
+				p := NewProcessor(Config{ViewMaterialization: viewMat, PipelineDepth: depth})
+				for _, q := range queries {
+					p.MustRegister(q)
+				}
+				for di, ms := range p.ProcessBatch("S", docs) {
+					if got := renderMatches(ms); got != ref[di] {
+						t.Fatalf("trial %d (deep=%v viewmat=%v): pipeline depth=%d diverges from sequential on doc %d:\nseq:\n%sbatch:\n%s",
+							trial, deep, viewMat, depth, di+1, ref[di], got)
 					}
 				}
 			}

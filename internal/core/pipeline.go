@@ -1,0 +1,76 @@
+package core
+
+import (
+	"repro/internal/xmldoc"
+)
+
+// Batch ingestion pipeline: Stage 1 of a document (shared-NFA match plus
+// CurrentWitness construction, runStage1) depends only on the document and
+// the registration-time pattern structures — only the Algorithm-2 state
+// merge, Stage-2 evaluation against the join state, and window GC are
+// order-sensitive. ProcessBatch exploits this by running Stage 1 for up to
+// Config.PipelineDepth upcoming documents in worker goroutines while the
+// coordinator consumes completed witnesses strictly in arrival order
+// (consumeStage1), so matches, join state, and window semantics are
+// byte-identical to processing the documents one Process call at a time.
+
+// ProcessBatch processes docs on stream in arrival order and returns the
+// matches of each document, exactly as len(docs) consecutive Process calls
+// would. With Config.PipelineDepth > 1 the Stage-1 work of upcoming
+// documents overlaps the coordinator's ordered Stage-2 consumption.
+func (p *Processor) ProcessBatch(stream string, docs []*xmldoc.Document) [][]Match {
+	out := make([][]Match, len(docs))
+	p.ProcessBatchFunc(stream, docs, func(i int, ms []Match) { out[i] = ms })
+	return out
+}
+
+// ProcessBatchFunc is ProcessBatch with per-document delivery: deliver is
+// called on the coordinator goroutine, in arrival order, after document i's
+// Stage 2, state merge, and GC have completed. The engine facade uses the
+// callback to cascade composition publishes between batch documents at the
+// same point the sequential path would. deliver may itself call Process
+// (for derived documents) but must not call Register or ProcessBatch.
+func (p *Processor) ProcessBatchFunc(stream string, docs []*xmldoc.Document, deliver func(i int, matches []Match)) {
+	depth := p.cfg.PipelineDepth
+	if depth <= 1 || len(docs) <= 1 {
+		for i, d := range docs {
+			deliver(i, p.Process(stream, d))
+		}
+		return
+	}
+
+	// Bounded lookahead: a document's Stage 1 may start only while fewer
+	// than depth documents are admitted but not yet consumed; the
+	// coordinator releases a slot after consuming each document, so the
+	// pipeline never runs more than depth documents ahead of the
+	// order-sensitive tail.
+	results := make([]chan *stage1Result, len(docs))
+	for i := range results {
+		results[i] = make(chan *stage1Result, 1)
+	}
+	sem := make(chan struct{}, depth)
+	jobs := make(chan int)
+	go func() {
+		for i := range docs {
+			sem <- struct{}{}
+			jobs <- i
+		}
+		close(jobs)
+	}()
+	workers := depth
+	if workers > len(docs) {
+		workers = len(docs)
+	}
+	for w := 0; w < workers; w++ {
+		go func() {
+			for i := range jobs {
+				results[i] <- p.runStage1(stream, docs[i])
+			}
+		}()
+	}
+	for i := range docs {
+		r := <-results[i]
+		deliver(i, p.consumeStage1(r))
+		<-sem
+	}
+}

@@ -47,10 +47,17 @@ type Stats struct {
 	RR       time.Duration // computing RR slices
 	CQ       time.Duration // per-template conjunctive query evaluation
 	Maintain time.Duration // Algorithm 2 + view cache maintenance + GC
+	// Stage1Wall is the per-document wall-clock time of Stage 1 (NFA match
+	// plus witness construction), accumulated across documents and batch
+	// publishes. In a pipelined batch (Config.PipelineDepth > 1) Stage 1
+	// runs concurrently in workers, so Stage1Wall sums per-document time
+	// across workers and may exceed the batch's elapsed wall time.
+	Stage1Wall time.Duration
 	// Stage2Wall is the coordinator's wall-clock time of Stage-2 template
 	// evaluation. With Workers > 1 the per-phase timings above accumulate
 	// CPU time across workers and may exceed it; Stage2Wall is what
-	// shrinks as workers are added.
+	// shrinks as workers are added. Both wall counters accumulate across
+	// Process and ProcessBatch calls.
 	Stage2Wall time.Duration
 	Matches    int64
 	Documents  int64
@@ -69,6 +76,7 @@ func (s *Stats) add(o Stats) {
 	s.RR += o.RR
 	s.CQ += o.CQ
 	s.Maintain += o.Maintain
+	s.Stage1Wall += o.Stage1Wall
 	s.Stage2Wall += o.Stage2Wall
 	s.Matches += o.Matches
 	s.Documents += o.Documents
@@ -96,6 +104,13 @@ type Config struct {
 	// share no mutable state. 0 or 1 selects sequential evaluation;
 	// match output is identical for every worker count.
 	Workers int
+	// PipelineDepth bounds how many upcoming documents of a ProcessBatch
+	// call may have Stage 1 (parse-independent NFA match and witness
+	// construction) running or completed ahead of the coordinator's
+	// in-order Stage-2 consumption (pipeline.go). 0 or 1 selects the
+	// sequential per-document path; match output is identical for every
+	// depth.
+	PipelineDepth int
 }
 
 // PlanKind selects the physical plan for template conjunctive queries.
@@ -454,17 +469,29 @@ func (p *Processor) registerPattern(block *xpath.Pattern) *patternInfo {
 	return pi
 }
 
-// Process runs the full per-document pipeline (Algorithm 1, or Algorithm 4
-// when view materialization is enabled) and returns the matches the
-// document triggered.
-func (p *Processor) Process(stream string, d *xmldoc.Document) []Match {
-	p.stats.Documents++
+// stage1Result carries the order-insensitive per-document work of Stage 1:
+// the current-witness relations, the single-block matches, and the phase
+// timings to be accumulated by the coordinator. It depends only on the
+// document and the registered patterns, never on the join state, which is
+// what makes Stage 1 safe to run ahead of order in pipeline workers.
+type stage1Result struct {
+	doc     *xmldoc.Document
+	w       *CurrentWitness
+	singles []Match
+
+	xpath, witness, wall time.Duration
+}
+
+// runStage1 performs Stage 1 for one document: shared-NFA matching, witness
+// relation construction, and single-block match emission. It only reads
+// registration-time structures (the shared NFA, pattern infos, query lists),
+// so concurrent calls for different documents are safe as long as no
+// Register runs concurrently.
+func (p *Processor) runStage1(stream string, d *xmldoc.Document) *stage1Result {
+	r := &stage1Result{doc: d, w: NewCurrentWitness(d)}
 	t0 := time.Now()
 	res := p.xp.MatchDocument(stream, d)
-	p.stats.XPath += time.Since(t0)
-
-	w := NewCurrentWitness(d)
-	var out []Match
+	r.xpath = time.Since(t0)
 
 	t1 := time.Now()
 	for _, pi := range p.patternList {
@@ -477,13 +504,13 @@ func (p *Processor) Process(stream string, d *xmldoc.Document) []Match {
 			// binding of pattern node i.
 			b := witness.Bindings
 			for _, e := range pi.edges {
-				w.AddBin(pi.canonIDs[e[0]], pi.canonIDs[e[1]], b[e[0]], b[e[1]])
+				r.w.AddBin(pi.canonIDs[e[0]], pi.canonIDs[e[1]], b[e[0]], b[e[1]])
 			}
 			for _, n := range pi.strNodes {
-				w.AddDoc(b[n], d.StringValue(b[n]))
+				r.w.AddDoc(b[n], d.StringValue(b[n]))
 			}
 			for _, n := range pi.roots {
-				w.AddRoot(pi.canonIDs[n], b[n])
+				r.w.AddRoot(pi.canonIDs[n], b[n])
 			}
 		}
 		// Single-block queries fire once per witness.
@@ -493,7 +520,7 @@ func (p *Processor) Process(stream string, d *xmldoc.Document) []Match {
 				if len(witness.Bindings) > 0 {
 					root = witness.Bindings[0]
 				}
-				out = append(out, Match{
+				r.singles = append(r.singles, Match{
 					Query:   qid,
 					LeftDoc: d.ID, RightDoc: d.ID,
 					LeftTS: d.Timestamp, RightTS: d.Timestamp,
@@ -502,7 +529,22 @@ func (p *Processor) Process(stream string, d *xmldoc.Document) []Match {
 			}
 		}
 	}
-	p.stats.Witness += time.Since(t1)
+	r.witness = time.Since(t1)
+	r.wall = time.Since(t0)
+	return r
+}
+
+// consumeStage1 runs the order-sensitive tail of document processing on the
+// coordinator: Stage-2 template evaluation against the join state, the
+// Algorithm-2 state merge, view-cache maintenance, and window GC. Results
+// must be consumed in arrival order.
+func (p *Processor) consumeStage1(r *stage1Result) []Match {
+	d, w := r.doc, r.w
+	p.stats.Documents++
+	p.stats.XPath += r.xpath
+	p.stats.Witness += r.witness
+	p.stats.Stage1Wall += r.wall
+	out := r.singles
 
 	if p.state.NumDocs() > 0 && w.RdocW.Len() > 0 {
 		t := time.Now()
@@ -534,6 +576,13 @@ func (p *Processor) Process(stream string, d *xmldoc.Document) []Match {
 	p.stats.Maintain += time.Since(t2)
 	p.stats.Matches += int64(len(out))
 	return out
+}
+
+// Process runs the full per-document pipeline (Algorithm 1, or Algorithm 4
+// when view materialization is enabled) and returns the matches the
+// document triggered.
+func (p *Processor) Process(stream string, d *xmldoc.Document) []Match {
+	return p.consumeStage1(p.runStage1(stream, d))
 }
 
 func (t *Template) headVars() []string {
