@@ -242,6 +242,51 @@ func BenchmarkPipelineSweep(b *testing.B) {
 	}
 }
 
+// BenchmarkChurnSweep measures end-to-end ingest throughput under
+// subscription churn at increasing per-chunk churn counts on the
+// multi-template RSS workload — the lifecycle benchmark of the refcounted
+// template machinery (Unregister + reclamation). Churn 0 is the static
+// baseline.
+func BenchmarkChurnSweep(b *testing.B) {
+	for _, churn := range []int{0, 8, 64} {
+		for _, viewMat := range []bool{false, true} {
+			name := fmt.Sprintf("churn=%d/viewmat=%v", churn, viewMat)
+			b.Run(name, func(b *testing.B) {
+				c := workload.DefaultRSS()
+				srng := rand.New(rand.NewSource(3))
+				stream := c.Stream(srng, 400)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					qrng := rand.New(rand.NewSource(1))
+					p := core.NewProcessor(core.Config{ViewMaterialization: viewMat})
+					var live []core.QueryID
+					for _, q := range c.Queries(qrng, 1000) {
+						live = append(live, p.MustRegister(q))
+					}
+					const chunk = 50
+					for j := 0; j < len(stream); j += chunk {
+						end := j + chunk
+						if end > len(stream) {
+							end = len(stream)
+						}
+						p.ProcessBatch("S", stream[j:end])
+						if churn > 0 {
+							for _, q := range c.Queries(qrng, churn) {
+								live = append(live, p.MustRegister(q))
+							}
+							for _, id := range live[:churn] {
+								p.MustUnregister(id)
+							}
+							live = live[churn:]
+						}
+					}
+				}
+				b.ReportMetric(float64(len(stream)), "docs/op")
+			})
+		}
+	}
+}
+
 // BenchmarkSequentialProcessDocument is the per-query baseline counterpart.
 func BenchmarkSequentialProcessDocument(b *testing.B) {
 	c := workload.DefaultRSS()

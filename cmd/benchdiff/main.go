@@ -16,10 +16,13 @@
 // which is what a localized perf regression looks like. Use
 // -normalize=false for a same-machine absolute comparison.
 //
-// Experiments or rows present on only one side are reported but never fail
-// the gate, so adding an experiment does not require regenerating the
-// baseline. Exit status is 1 when any series regressed by more than
-// -threshold percent, 0 otherwise.
+// Series present in only one file — a new experiment or row not yet in the
+// baseline, or a baseline entry the current run no longer produces — are
+// purely informational: they are reported as skipped and never fail the
+// gate, so adding an experiment does not require regenerating the baseline
+// and retiring one does not leave a silently dead entry. Exit status is 1
+// when any shared series regressed by more than -threshold percent, 0
+// otherwise.
 package main
 
 import (
@@ -94,10 +97,19 @@ func collect(base, cur []bench.Result) (cells []series, notes []string) {
 	for _, r := range base {
 		baseByID[r.ID] = r
 	}
+	curByID := map[string]bool{}
+	for _, c := range cur {
+		curByID[c.ID] = true
+	}
+	for _, b := range base {
+		if !curByID[b.ID] {
+			notes = append(notes, fmt.Sprintf("%s: baseline only, not in current — informational, skipped", b.ID))
+		}
+	}
 	for _, c := range cur {
 		b, ok := baseByID[c.ID]
 		if !ok {
-			notes = append(notes, fmt.Sprintf("%s: no baseline — skipped", c.ID))
+			notes = append(notes, fmt.Sprintf("%s: no baseline — informational, skipped", c.ID))
 			continue
 		}
 		baseCol := map[string]int{}
@@ -108,6 +120,17 @@ func collect(base, cur []bench.Result) (cells []series, notes []string) {
 		for _, row := range b.Rows {
 			if len(row) > 0 {
 				baseRow[row[0]] = row
+			}
+		}
+		curRow := map[string]bool{}
+		for _, row := range c.Rows {
+			if len(row) > 0 {
+				curRow[row[0]] = true
+			}
+		}
+		for _, row := range b.Rows {
+			if len(row) > 0 && !curRow[row[0]] {
+				notes = append(notes, fmt.Sprintf("%s[%s]: baseline only, not in current — informational, skipped", b.ID, row[0]))
 			}
 		}
 		for _, row := range c.Rows {

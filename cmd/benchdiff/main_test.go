@@ -57,11 +57,38 @@ func TestDiffSkipsUnknownExperimentAndRow(t *testing.T) {
 	if regressed {
 		t.Fatalf("skips caused failure:\n%s", report)
 	}
-	if !strings.Contains(report, "brandnew: no baseline — skipped") {
+	if !strings.Contains(report, "brandnew: no baseline — informational, skipped") {
 		t.Errorf("missing experiment skip note:\n%s", report)
 	}
 	if !strings.Contains(report, "pipeline[2]: no baseline row — skipped") {
 		t.Errorf("missing row skip note:\n%s", report)
+	}
+}
+
+func TestDiffOneSidedSeriesInformational(t *testing.T) {
+	// A series present in only one file — whichever side — must be
+	// reported but can never trip the gate, even when its numbers are
+	// wildly different from everything else.
+	base := []bench.Result{
+		mkResult("pipeline", []string{"1", "1000.000", "5"}, []string{"9", "9999.000", "5"}),
+		mkResult("retired", []string{"1", "9999.000", "5"}),
+	}
+	cur := []bench.Result{
+		mkResult("pipeline", []string{"1", "990.000", "5"}),
+		mkResult("churn", []string{"0", "1.000", "5"}),
+	}
+	report, regressed := diff(base, cur, 20, true)
+	if regressed {
+		t.Fatalf("one-sided series tripped the gate:\n%s", report)
+	}
+	if !strings.Contains(report, "churn: no baseline — informational, skipped") {
+		t.Errorf("missing current-only note:\n%s", report)
+	}
+	if !strings.Contains(report, "retired: baseline only, not in current — informational, skipped") {
+		t.Errorf("missing baseline-only note:\n%s", report)
+	}
+	if !strings.Contains(report, "pipeline[9]: baseline only, not in current — informational, skipped") {
+		t.Errorf("missing baseline-only row note:\n%s", report)
 	}
 }
 

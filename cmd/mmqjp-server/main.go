@@ -6,6 +6,7 @@
 // Protocol (one request per line):
 //
 //	SUB <xscl-query>             -> OK <qid> | ERR <message>
+//	UNSUB <qid>                  -> OK <qid> | ERR <message>
 //	PUB <stream> <ts> <xml>      -> OK <matches> | ERR <message>
 //	PUBB <stream> <n>            -> OK <total matches> | ERR <message>
 //	STATS                        -> OK <engine stats>
@@ -17,6 +18,13 @@
 // consumption, depth set by -pipeline). A malformed document line rejects
 // the whole batch after the announced lines are consumed; no document of a
 // rejected batch is published.
+//
+// UNSUB removes a subscription; only the connection that registered a query
+// may unsubscribe it. The engine reclaims everything the query no longer
+// shares with surviving subscriptions (refcounted canonical templates, query
+// relations, view-cache entries). A subscription lives at most as long as
+// its connection: disconnecting unsubscribes all of the connection's
+// queries.
 //
 // Matches are delivered asynchronously as
 //
@@ -100,6 +108,11 @@ func main() {
 
 func (s *server) serve(c *client) {
 	defer c.conn.Close()
+	// A subscription lives as long as the connection that registered it:
+	// on disconnect the client's queries are unsubscribed, so a dropped
+	// connection cannot leak un-removable queries into the engine (UNSUB
+	// rejects every other connection by the ownership rule).
+	defer s.dropClient(c)
 	sc := bufio.NewScanner(c.conn)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
 	for sc.Scan() {
@@ -111,6 +124,8 @@ func (s *server) serve(c *client) {
 		switch strings.ToUpper(verb) {
 		case "SUB":
 			s.handleSub(c, rest)
+		case "UNSUB":
+			s.handleUnsub(c, rest)
 		case "PUB":
 			s.handlePub(c, rest)
 		case "PUBB":
@@ -142,6 +157,54 @@ func (s *server) handleSub(c *client, src string) {
 		return
 	}
 	c.send(fmt.Sprintf("OK %d", id))
+}
+
+// handleUnsub removes a subscription owned by the requesting connection.
+// s.mu is held across the ownership check and the engine call, mirroring
+// handleSub: a concurrent PUB either publishes before the query is removed
+// (and may deliver its final matches) or after (and cannot).
+func (s *server) handleUnsub(c *client, rest string) {
+	id, err := strconv.ParseInt(strings.TrimSpace(rest), 10, 64)
+	if err != nil {
+		c.send("ERR usage: UNSUB <qid>")
+		return
+	}
+	qid := mmqjp.QueryID(id)
+	s.mu.Lock()
+	owner, ok := s.owners[qid]
+	switch {
+	case !ok:
+		err = fmt.Errorf("unknown query %d", qid)
+	case owner != c:
+		err = fmt.Errorf("query %d belongs to another connection", qid)
+	default:
+		if err = s.eng.Unsubscribe(qid); err == nil {
+			delete(s.owners, qid)
+		}
+	}
+	s.mu.Unlock()
+	if err != nil {
+		c.send("ERR " + err.Error())
+		return
+	}
+	c.send(fmt.Sprintf("OK %d", qid))
+}
+
+// dropClient unsubscribes every query owned by a disconnecting client.
+// Lock order matches handleSub/handleUnsub: s.mu is taken first, the engine
+// lock inside it.
+func (s *server) dropClient(c *client) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for qid, owner := range s.owners {
+		if owner != c {
+			continue
+		}
+		if err := s.eng.Unsubscribe(qid); err != nil {
+			log.Printf("drop client: unsubscribe %d: %v", qid, err)
+		}
+		delete(s.owners, qid)
+	}
 }
 
 func (s *server) handlePub(c *client, rest string) {

@@ -297,3 +297,86 @@ func TestServerConcurrentClients(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestServerUnsub(t *testing.T) {
+	addr := startTestServer(t)
+	c := dialTest(t, addr)
+	c.sendLine(t, "SUB S//a->x JOIN{x=y, 100} S//b->y")
+	resp := c.readLine(t)
+	if !strings.HasPrefix(resp, "OK ") {
+		t.Fatalf("SUB reply %q", resp)
+	}
+	qid := strings.TrimPrefix(resp, "OK ")
+
+	// Another connection may not remove someone else's subscription.
+	other := dialTest(t, addr)
+	other.sendLine(t, "UNSUB "+qid)
+	if resp := other.readLine(t); !strings.HasPrefix(resp, "ERR") {
+		t.Fatalf("foreign UNSUB reply %q, want ERR", resp)
+	}
+
+	// A match still arrives while subscribed.
+	c.sendLine(t, "PUB S 1 <a>v</a>")
+	if resp := c.readLine(t); resp != "OK 0" {
+		t.Fatalf("PUB reply %q", resp)
+	}
+	c.sendLine(t, "PUB S 2 <b>v</b>")
+	first, second := c.readLine(t), c.readLine(t)
+	if !strings.HasPrefix(first, "MATCH ") && !strings.HasPrefix(second, "MATCH ") {
+		t.Fatalf("no MATCH delivered before unsubscribe: %q / %q", first, second)
+	}
+
+	// Unsubscribe by the owner succeeds; further publishes match nothing.
+	c.sendLine(t, "UNSUB "+qid)
+	if resp := c.readLine(t); resp != "OK "+qid {
+		t.Fatalf("UNSUB reply %q", resp)
+	}
+	c.sendLine(t, "PUB S 3 <a>v</a>")
+	if resp := c.readLine(t); resp != "OK 0" {
+		t.Fatalf("PUB after UNSUB reply %q", resp)
+	}
+	c.sendLine(t, "PUB S 4 <b>v</b>")
+	if resp := c.readLine(t); resp != "OK 0" {
+		t.Fatalf("publish matched an unsubscribed query: %q", resp)
+	}
+
+	// Double unsubscribe and malformed ids are rejected.
+	c.sendLine(t, "UNSUB "+qid)
+	if resp := c.readLine(t); !strings.HasPrefix(resp, "ERR") {
+		t.Fatalf("double UNSUB reply %q, want ERR", resp)
+	}
+	c.sendLine(t, "UNSUB notanumber")
+	if resp := c.readLine(t); !strings.HasPrefix(resp, "ERR") {
+		t.Fatalf("malformed UNSUB reply %q, want ERR", resp)
+	}
+	c.sendLine(t, "UNSUB 4242")
+	if resp := c.readLine(t); !strings.HasPrefix(resp, "ERR") {
+		t.Fatalf("unknown-id UNSUB reply %q, want ERR", resp)
+	}
+}
+
+func TestServerDisconnectUnsubscribes(t *testing.T) {
+	addr := startTestServer(t)
+	a := dialTest(t, addr)
+	a.sendLine(t, "SUB S//a->x JOIN{x=y, 100} S//b->y")
+	if resp := a.readLine(t); !strings.HasPrefix(resp, "OK ") {
+		t.Fatalf("SUB reply %q", resp)
+	}
+	a.conn.Close() // drop the connection without QUIT
+
+	// The server unsubscribes the dead connection's queries; poll STATS
+	// until the cleanup (asynchronous to the close) lands.
+	b := dialTest(t, addr)
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		b.sendLine(t, "STATS")
+		resp := b.readLine(t)
+		if strings.Contains(resp, " 0 queries") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("disconnected client's query never unsubscribed: %q", resp)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -34,6 +34,13 @@
 // window GC are applied strictly in arrival order, so batch output is
 // identical to per-document Publish for every depth.
 //
+// Subscriptions have a full lifecycle: Unsubscribe removes a query and
+// reclaims everything it no longer shares with the survivors — canonical
+// templates are refcounted over their member queries, and a template's
+// query relation, indexes and view-cache entries are released when its last
+// member leaves. Draining every subscription returns the engine to its
+// initial state; ids are never reused.
+//
 // # Quick start
 //
 //	eng := mmqjp.New(mmqjp.Options{Processor: mmqjp.ProcessorViewMat})

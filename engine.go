@@ -80,19 +80,22 @@ type Match struct {
 }
 
 // Engine is an XML publish/subscribe engine: register XSCL subscriptions,
-// publish documents, receive matches. All methods are safe for concurrent
-// use: Subscribe and Publish serialize against each other (documents enter
-// the join state one at a time — parallelism lives inside a Publish, across
-// query templates; see Options.Parallelism), while read-only accessors only
-// exclude writers.
+// publish documents, receive matches, unsubscribe. All methods are safe for
+// concurrent use: Subscribe, Unsubscribe and Publish serialize against each
+// other (documents enter the join state one at a time — parallelism lives
+// inside a Publish, across query templates; see Options.Parallelism), while
+// read-only accessors only exclude writers.
 type Engine struct {
 	mu   sync.RWMutex
 	opts Options
 	proc *core.Processor       // nil when Sequential
 	seq  *sequential.Processor // nil otherwise
 
-	queries []*xscl.Query
-	docs    map[xmldoc.DocID]*xmldoc.Document
+	// queries is indexed by QueryID; Unsubscribe leaves a nil slot so ids
+	// stay stable across churn. numQueries counts live subscriptions.
+	queries    []*xscl.Query
+	numQueries int
+	docs       map[xmldoc.DocID]*xmldoc.Document
 
 	// nextDerived allocates ids for documents synthesized by query
 	// composition, well away from caller-assigned ids.
@@ -159,21 +162,63 @@ func (e *Engine) subscribe(q *xscl.Query) (QueryID, error) {
 		id = QueryID(cid)
 	}
 	e.queries = append(e.queries, q)
+	e.numQueries++
 	return id, nil
 }
 
-// Query returns the source text of a subscription.
+// Unsubscribe removes a subscription. The join processor reclaims everything
+// the query no longer shares with surviving subscriptions — refcounted
+// canonical templates, per-shard query relations and indexes, pattern
+// extraction demands, and (when the last subscription leaves) the whole join
+// state and view caches. Matches already delivered are unaffected, and ids
+// are never reused. Unsubscribing a PUBLISH query stops its composition
+// cascade: downstream subscriptions on its output stream simply see no
+// further derived documents, while an unsubscribed downstream query stops
+// receiving cascaded matches — Unsubscribe serializes with Publish, so a
+// cascade is never torn mid-document. Returns an error for an unknown or
+// already-unsubscribed id.
+func (e *Engine) Unsubscribe(id QueryID) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if id < 0 || int(id) >= len(e.queries) || e.queries[id] == nil {
+		return fmt.Errorf("mmqjp: unknown subscription %d", id)
+	}
+	if e.seq != nil {
+		if err := e.seq.Unregister(sequential.QueryID(id)); err != nil {
+			return err
+		}
+	} else {
+		if err := e.proc.Unregister(core.QueryID(id)); err != nil {
+			return err
+		}
+	}
+	e.queries[id] = nil
+	e.numQueries--
+	if e.numQueries == 0 {
+		// The processor reclaimed its join state; release the retained
+		// documents too, so a drained engine holds no per-document
+		// memory. OutputXML for matches delivered before the drain
+		// reports ok=false from here on.
+		e.docs = map[xmldoc.DocID]*xmldoc.Document{}
+	}
+	return nil
+}
+
+// Query returns the source text of a subscription ("" once unsubscribed).
 func (e *Engine) Query(id QueryID) string {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
+	if id < 0 || int(id) >= len(e.queries) || e.queries[id] == nil {
+		return ""
+	}
 	return e.queries[id].Source
 }
 
-// NumQueries returns the number of subscriptions.
+// NumQueries returns the number of live subscriptions.
 func (e *Engine) NumQueries() int {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
-	return len(e.queries)
+	return e.numQueries
 }
 
 // NumTemplates returns the number of distinct query templates maintained by

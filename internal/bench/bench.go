@@ -101,6 +101,11 @@ type Options struct {
 	// experiment (not a paper figure: it measures the batched
 	// Stage-1/Stage-2 overlap, default 1,2,4,8; 1 = sequential baseline).
 	PipelineDepths []int
+	// ChurnCounts is the subscription-churn sweep of the "churn"
+	// experiment: between stream chunks, this many of the oldest queries
+	// are unsubscribed and as many fresh ones subscribed (default
+	// 0,8,64; 0 = the churn-free baseline).
+	ChurnCounts []int
 }
 
 // Defaults fills zero fields.
@@ -131,6 +136,9 @@ func (o Options) Defaults() Options {
 	}
 	if len(o.PipelineDepths) == 0 {
 		o.PipelineDepths = []int{1, 2, 4, 8}
+	}
+	if len(o.ChurnCounts) == 0 {
+		o.ChurnCounts = []int{0, 8, 64}
 	}
 	return o
 }
@@ -462,6 +470,66 @@ func ingestThroughput(qs []*xscl.Query, stream []*xmldoc.Document, mode Mode, de
 	return perSecond(len(stream), time.Since(start)), p.NumTemplates()
 }
 
+// ChurnSweep — not a paper figure: end-to-end ingest throughput on the RSS
+// workload under subscription churn, the lifecycle measurement of the
+// refcounted template machinery. The stream is processed in 8 chunks;
+// between chunks the k oldest subscriptions are unsubscribed and k fresh
+// ones subscribed (k = the sweep parameter, 0 = churn-free baseline), so
+// canonical templates are continuously reclaimed and re-registered while
+// documents flow. Reported docs/s include the churn work itself.
+func ChurnSweep(o Options) Result {
+	o = o.Defaults()
+	c := workload.DefaultRSS()
+	srng := rand.New(rand.NewSource(o.Seed + 7))
+	stream := c.Stream(srng, o.RSSItems)
+	res := Result{ID: "churn",
+		Title:   fmt.Sprintf("ingest throughput under subscription churn (%d standing queries, %d items)", o.Queries, len(stream)),
+		Columns: []string{"churn/chunk", "MMQJP (docs/s)", "MMQJP+ViewMat (docs/s)", "churn ops/s", "templates"}}
+	for _, k := range o.ChurnCounts {
+		basic, _, _ := churnRun(c, stream, o, ModeMMQJP, k)
+		vm, churnRate, ntmpl := churnRun(c, stream, o, ModeViewMat, k)
+		res.Rows = append(res.Rows, []string{
+			fmt.Sprint(k), f(basic), f(vm), f(churnRate), fmt.Sprint(ntmpl)})
+	}
+	return res
+}
+
+// churnRun ingests the stream in chunks, unsubscribing the k oldest and
+// subscribing k fresh queries between chunks, and returns whole-run
+// documents/second, churn operations/second, and the final live template
+// count.
+func churnRun(c workload.RSS, stream []*xmldoc.Document, o Options, mode Mode, k int) (docsPerSec, churnPerSec float64, templates int) {
+	qrng := rand.New(rand.NewSource(o.Seed))
+	p := core.NewProcessor(core.Config{ViewMaterialization: mode == ModeViewMat})
+	var live []core.QueryID
+	for _, q := range c.Queries(qrng, o.Queries) {
+		live = append(live, p.MustRegister(q))
+	}
+	const chunks = 8
+	chunk := (len(stream) + chunks - 1) / chunks
+	churnOps := 0
+	start := time.Now()
+	for i := 0; i < len(stream); i += chunk {
+		end := i + chunk
+		if end > len(stream) {
+			end = len(stream)
+		}
+		p.ProcessBatch("S", stream[i:end])
+		if k > 0 {
+			for _, q := range c.Queries(qrng, k) {
+				live = append(live, p.MustRegister(q))
+			}
+			for _, id := range live[:k] {
+				p.MustUnregister(id)
+			}
+			live = live[k:]
+			churnOps += 2 * k
+		}
+	}
+	elapsed := time.Since(start)
+	return perSecond(len(stream), elapsed), perSecond(churnOps, elapsed), p.NumTemplates()
+}
+
 // Table3 — number of query templates vs number of value joins, for the flat
 // and the complex (three-level) schema, computed by exact enumeration.
 //
@@ -641,7 +709,7 @@ func sideComplex(part []int, pfx string) string {
 // All returns every experiment id: the paper's tables and figures in paper
 // order, then the repo's own scaling experiments.
 func All() []string {
-	return []string{"table3", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "workers", "pipeline"}
+	return []string{"table3", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "workers", "pipeline", "churn"}
 }
 
 // Run executes one experiment by id.
@@ -671,6 +739,8 @@ func Run(id string, o Options) (Result, error) {
 		return WorkersSweep(o), nil
 	case "pipeline":
 		return PipelineSweep(o), nil
+	case "churn":
+		return ChurnSweep(o), nil
 	default:
 		return Result{}, fmt.Errorf("bench: unknown experiment %q (have %v)", id, All())
 	}

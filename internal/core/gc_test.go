@@ -1,0 +1,186 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/relation"
+	"repro/internal/xmldoc"
+	"repro/internal/xscl"
+)
+
+// mergeDoc merges a minimal document with one value-join string into the
+// state (timestamp == arrival order unless overridden).
+func mergeDoc(s *State, id int64, ts int64, str string) {
+	b := xmldoc.NewBuilder(xmldoc.DocID(id), xmldoc.Timestamp(ts), "item")
+	b.Element(0, "a", str)
+	d := b.Build()
+	w := NewCurrentWitness(d)
+	w.AddBin(1, 2, 0, 1)
+	w.AddDoc(1, str)
+	s.Merge(w, false)
+}
+
+// TestShouldGCExpiredPrefix pins the prefix semantics of the per-publish GC
+// check: the scan stops at the first live document, the half-expired rule
+// and the gcBatchMin fast path both hold, and no expired documents means no
+// GC.
+func TestShouldGCExpiredPrefix(t *testing.T) {
+	noSeq := int64(math.MaxInt64)
+	s := NewState()
+	for i := int64(1); i <= 10; i++ {
+		mergeDoc(s, i, i, fmt.Sprintf("s%d", i))
+	}
+	if s.shouldGC(1, noSeq) {
+		t.Error("shouldGC with nothing expired")
+	}
+	if s.shouldGC(5, noSeq) {
+		t.Error("shouldGC with 4/10 expired (below half, below batch)")
+	}
+	if !s.shouldGC(6, noSeq) {
+		t.Error("!shouldGC with 5/10 expired (half the state)")
+	}
+	// A long stream: gcBatchMin expired documents suffice even when they
+	// are a small fraction of the state.
+	big := NewState()
+	for i := int64(1); i <= 1000; i++ {
+		mergeDoc(big, i, i, fmt.Sprintf("s%d", i))
+	}
+	if big.shouldGC(xmldoc.Timestamp(gcBatchMin), noSeq) {
+		t.Errorf("shouldGC with %d/1000 expired", gcBatchMin-1)
+	}
+	if !big.shouldGC(xmldoc.Timestamp(gcBatchMin)+1, noSeq) {
+		t.Errorf("!shouldGC with %d/1000 expired", gcBatchMin)
+	}
+}
+
+// TestGCReturnsExpiredSet checks GC's return value: exactly the reclaimed
+// documents, empty when nothing expires.
+func TestGCReturnsExpiredSet(t *testing.T) {
+	noSeq := int64(math.MaxInt64)
+	s := NewState()
+	for i := int64(1); i <= 6; i++ {
+		mergeDoc(s, i, i, fmt.Sprintf("s%d", i))
+	}
+	if got := s.GC(1, noSeq); len(got) != 0 {
+		t.Errorf("GC expired %v with cutoff below all docs", got)
+	}
+	got := s.GC(4, noSeq)
+	want := map[xmldoc.DocID]bool{1: true, 2: true, 3: true}
+	if len(got) != len(want) {
+		t.Fatalf("GC expired %v, want %v", got, want)
+	}
+	for id := range want {
+		if !got[id] {
+			t.Errorf("GC missing expired doc %d", id)
+		}
+	}
+	if s.NumDocs() != 3 {
+		t.Errorf("NumDocs = %d, want 3", s.NumDocs())
+	}
+}
+
+// TestGCScopedCacheInvalidation is the satellite bugfix check: after a GC,
+// only view-cache entries whose slices reference expired documents are
+// dropped — the post-GC cache is no longer wiped wholesale.
+func TestGCScopedCacheInvalidation(t *testing.T) {
+	p := NewProcessor(Config{ViewMaterialization: true})
+	// Two leaves per side keep the block roots in the template, so the
+	// cached RL slices actually carry Rbin rows (a single-node side would
+	// use the Rroot path and cache empty slices).
+	p.MustRegister(xscl.MustParse(
+		"S//item->x[.//a->v][.//b->u] FOLLOWED BY{v=w AND u=z, 1000} S//item->y[.//a->w][.//b->z]"))
+
+	doc := func(id, ts int64, val string) *xmldoc.Document {
+		b := xmldoc.NewBuilder(xmldoc.DocID(id), xmldoc.Timestamp(ts), "item")
+		b.Element(0, "a", val+"A")
+		b.Element(0, "b", val+"B")
+		return b.Build()
+	}
+	// Old epoch: values "oldA"/"oldB" repeated, so their slices reference
+	// only documents that will expire together.
+	id, ts := int64(1), int64(0)
+	for i := 0; i < gcBatchMin+1; i++ {
+		p.Process("S", doc(id, ts, "old"))
+		id++
+		ts++
+	}
+	if sl, ok := p.shardOfString("oldA").cache.Get("oldA"); !ok || sl.Len() == 0 {
+		t.Fatalf("precondition: no populated cache entry for oldA (ok=%v)", ok)
+	}
+	// Live documents carrying different strings, far enough ahead that the
+	// old epoch falls out of the window on the next publishes.
+	ts += 2000
+	for i := 0; i < 4; i++ {
+		p.Process("S", doc(id, ts, "new"))
+		id++
+		ts++
+	}
+	sh := p.shardOfString("newA")
+	if n := sh.cache.Len(); n == 0 {
+		t.Fatalf("no cache entries after the fresh epoch (GC wiped the cache wholesale?)")
+	}
+	if _, ok := sh.cache.Get("newA"); !ok {
+		t.Errorf("live entry %q invalidated by GC of unrelated documents", "newA")
+	}
+	if _, ok := p.shardOfString("oldA").cache.Get("oldA"); ok {
+		t.Errorf("stale entry %q survived GC", "oldA")
+	}
+	inval := int64(0)
+	for _, s := range p.shards {
+		inval += s.cache.Invalidations()
+	}
+	if inval == 0 {
+		t.Errorf("no invalidations accounted after GC")
+	}
+}
+
+// TestViewCacheInvalidateDocs unit-tests the scoped invalidation: entries
+// referencing an expired doc are dropped and accounted, others survive.
+func TestViewCacheInvalidateDocs(t *testing.T) {
+	c := NewViewCache(0)
+	slice := func(docids ...int64) *relation.Relation {
+		r := relation.New("docid", "var1", "var2", "node1", "node2", "strVal")
+		for _, d := range docids {
+			r.Insert(relation.Int(d), relation.Int(1), relation.Int(2),
+				relation.Int(0), relation.Int(1), relation.Str("s"))
+		}
+		return r
+	}
+	c.Put("stale", slice(1, 2))
+	c.Put("live", slice(3))
+	c.Put("empty", slice())
+	c.InvalidateDocs(map[xmldoc.DocID]bool{2: true})
+	if _, ok := c.Get("stale"); ok {
+		t.Error("entry referencing expired doc 2 survived")
+	}
+	if _, ok := c.Get("live"); !ok {
+		t.Error("entry referencing only live docs dropped")
+	}
+	if _, ok := c.Get("empty"); !ok {
+		t.Error("empty slice dropped")
+	}
+	if got := c.Invalidations(); got != 1 {
+		t.Errorf("Invalidations = %d, want 1", got)
+	}
+	if c.Len() != 2 {
+		t.Errorf("Len = %d, want 2", c.Len())
+	}
+}
+
+// TestViewCacheClearAccountsDrop checks Clear records the dropped entries in
+// the invalidation stats instead of silently zeroing the population.
+func TestViewCacheClearAccountsDrop(t *testing.T) {
+	c := NewViewCache(0)
+	for i := 0; i < 5; i++ {
+		c.Put(fmt.Sprintf("s%d", i), relation.New("docid"))
+	}
+	c.Clear()
+	if got := c.Invalidations(); got != 5 {
+		t.Errorf("Invalidations after Clear = %d, want 5", got)
+	}
+	if c.Len() != 0 {
+		t.Errorf("Len after Clear = %d", c.Len())
+	}
+}

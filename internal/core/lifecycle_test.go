@@ -1,0 +1,435 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/xmldoc"
+	"repro/internal/xscl"
+)
+
+// assertFreshProcessor checks the lifecycle invariant: a processor whose
+// queries have all been unregistered is observationally identical to a fresh
+// one — templates, queries, patterns, shard relations, indexes, view-cache
+// entries, join state and stats all reclaimed.
+func assertFreshProcessor(t *testing.T, p *Processor) {
+	t.Helper()
+	if n := p.NumQueries(); n != 0 {
+		t.Errorf("NumQueries = %d, want 0", n)
+	}
+	if n := p.NumTemplates(); n != 0 {
+		t.Errorf("NumTemplates = %d, want 0", n)
+	}
+	if len(p.templates) != 0 || len(p.tmplShard) != 0 {
+		t.Errorf("template maps not empty: %d sigs, %d shard assignments", len(p.templates), len(p.tmplShard))
+	}
+	if len(p.patterns) != 0 || len(p.patternList) != 0 {
+		t.Errorf("pattern registry not empty: %d/%d", len(p.patterns), len(p.patternList))
+	}
+	if len(p.singleQueries) != 0 {
+		t.Errorf("singleQueries not empty: %v", p.singleQueries)
+	}
+	for qid, rec := range p.queries {
+		if rec != nil {
+			t.Errorf("query %d still registered", qid)
+		}
+	}
+	for iid, inst := range p.instances {
+		if inst != nil {
+			t.Errorf("instance %d still registered", iid)
+		}
+	}
+	for _, sh := range p.shards {
+		if len(sh.templates) != 0 || len(sh.rt) != 0 || len(sh.rtIndex) != 0 || len(sh.rtDirty) != 0 {
+			t.Errorf("shard %d still owns template state: %d templates, %d RT, %d idx, %d dirty",
+				sh.id, len(sh.templates), len(sh.rt), len(sh.rtIndex), len(sh.rtDirty))
+		}
+		if n := sh.cache.Len(); n != 0 {
+			t.Errorf("shard %d view cache has %d entries, want 0", sh.id, n)
+		}
+		if sh.stats != (Stats{}) {
+			t.Errorf("shard %d stats not reclaimed: %+v", sh.id, sh.stats)
+		}
+	}
+	st := p.state
+	if st.NumDocs() != 0 || st.Rbin.Len() != 0 || st.Rdoc.Len() != 0 || st.Rroot.Len() != 0 {
+		t.Errorf("join state not reclaimed: %d docs, Rbin %d, Rdoc %d, Rroot %d",
+			st.NumDocs(), st.Rbin.Len(), st.Rdoc.Len(), st.Rroot.Len())
+	}
+	if len(st.RdocTS) != 0 || len(st.seq) != 0 || len(st.docs) != 0 ||
+		len(st.rdocByStr) != 0 || len(st.rbinByNode2) != 0 || len(st.rbinByVars) != 0 {
+		t.Errorf("join-state indexes not reclaimed")
+	}
+	if p.stats != (Stats{}) {
+		t.Errorf("coordinator stats not reclaimed: %+v", p.stats)
+	}
+	if p.maxFiniteWindow != 0 || p.maxCountWindow != 0 || p.anyInfWindow {
+		t.Errorf("window maxima not reclaimed: finite=%d count=%d inf=%v",
+			p.maxFiniteWindow, p.maxCountWindow, p.anyInfWindow)
+	}
+}
+
+// TestUnregisterAllRestoresFreshProcessor subscribes a mixed query set
+// (JOIN, FOLLOWED BY, single-block, shared templates), processes documents,
+// unregisters everything, and requires the processor to be observationally
+// identical to a fresh one — including producing byte-identical output for a
+// subsequently re-registered workload.
+func TestUnregisterAllRestoresFreshProcessor(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	leafNames := []string{"a", "b", "c"}
+	mkQueries := func() []*xscl.Query {
+		r := rand.New(rand.NewSource(42))
+		qs := []*xscl.Query{
+			xscl.MustParse("S//item->x[.//a->v]"), // single-block
+		}
+		for i := 0; i < 8; i++ {
+			op := []string{"FOLLOWED BY", "JOIN"}[i%2]
+			qs = append(qs, randomFlatQuery(r, leafNames, 3, int64(5+r.Intn(30)), op))
+		}
+		return qs
+	}
+	var docs []*xmldoc.Document
+	ts := xmldoc.Timestamp(0)
+	for i := 0; i < 60; i++ {
+		ts += xmldoc.Timestamp(rng.Intn(3))
+		docs = append(docs, randomFlatDoc(rng, xmldoc.DocID(i+1), ts, leafNames, 2))
+	}
+
+	for _, cfg := range []Config{
+		{Workers: 1},
+		{ViewMaterialization: true, ViewCacheCapacity: 8, Workers: 3},
+	} {
+		p := NewProcessor(cfg)
+		var ids []QueryID
+		for _, q := range mkQueries() {
+			ids = append(ids, p.MustRegister(q))
+		}
+		for _, d := range docs {
+			p.Process("S", d)
+		}
+		for _, id := range ids {
+			p.MustUnregister(id)
+		}
+		assertFreshProcessor(t, p)
+
+		// Behavioral half of the invariant: the reclaimed processor and a
+		// genuinely fresh one must produce byte-identical output for the
+		// same subsequent workload. Query ids are never reused, so the
+		// comparison normalizes them to registration order.
+		fresh := NewProcessor(cfg)
+		ord := map[QueryID]QueryID{}
+		freshOrd := map[QueryID]QueryID{}
+		for i, q := range mkQueries() {
+			ord[p.MustRegister(q)] = QueryID(i)
+			freshOrd[fresh.MustRegister(q)] = QueryID(i)
+		}
+		// Template ids are not reused either, so the render keys the
+		// template by its canonical signature instead of its ordinal.
+		norm := func(ms []Match, m map[QueryID]QueryID) string {
+			var sb strings.Builder
+			for _, match := range ms {
+				sig := ""
+				if match.Template != nil {
+					sig = match.Template.Sig
+				}
+				fmt.Fprintf(&sb, "q%d l%d@%d r%d@%d roots(%d,%d) t%q b%v\n",
+					m[match.Query], match.LeftDoc, match.LeftTS, match.RightDoc, match.RightTS,
+					match.LeftRoot, match.RightRoot, sig, match.Bindings)
+			}
+			return sb.String()
+		}
+		for di, d := range docs {
+			got := norm(p.Process("S", d), ord)
+			want := norm(fresh.Process("S", d), freshOrd)
+			if got != want {
+				t.Fatalf("cfg=%+v: reclaimed processor diverges from fresh on doc %d:\nreclaimed:\n%sfresh:\n%s",
+					cfg, di+1, got, want)
+			}
+		}
+	}
+}
+
+// TestUnregisterSharedTemplateKeepsSurvivor removes one of two queries
+// sharing a canonical template: the template must survive with only the
+// survivor's RT row, and the survivor's matches must equal a fresh
+// processor's.
+func TestUnregisterSharedTemplateKeepsSurvivor(t *testing.T) {
+	q1 := xscl.MustParse("S//book->x[.//author->a] FOLLOWED BY{a=b, 1000} S//blog->y[.//author->b]")
+	q2 := xscl.MustParse("S//book->x[.//title->a] FOLLOWED BY{a=b, 1000} S//blog->y[.//title->b]")
+
+	p := NewProcessor(Config{ViewMaterialization: true})
+	id1 := p.MustRegister(q1)
+	id2 := p.MustRegister(q2)
+	if p.NumTemplates() != 1 {
+		t.Fatalf("queries do not share a template: %d", p.NumTemplates())
+	}
+	tmpl := p.templateList[0]
+	if got := p.shardOf(tmpl).rt[tmpl.ID].Len(); got != 2 {
+		t.Fatalf("RT rows = %d, want 2", got)
+	}
+
+	p.MustUnregister(id2)
+	if p.NumTemplates() != 1 {
+		t.Fatalf("shared template reclaimed while a member query survives")
+	}
+	if got := p.shardOf(tmpl).rt[tmpl.ID].Len(); got != 1 {
+		t.Errorf("RT rows after unregister = %d, want 1", got)
+	}
+	if p.NumQueries() != 1 {
+		t.Errorf("NumQueries = %d, want 1", p.NumQueries())
+	}
+
+	fresh := NewProcessor(Config{ViewMaterialization: true})
+	fid := fresh.MustRegister(q1)
+	if fid != 0 || id1 != 0 {
+		t.Fatalf("query id mismatch: %d vs %d", id1, fid)
+	}
+	d1 := xmldoc.PaperD1(1, 100)
+	d2 := xmldoc.PaperD2(2, 200)
+	p.Process("S", d1)
+	fresh.Process("S", d1)
+	got := renderMatches(p.Process("S", d2))
+	want := renderMatches(fresh.Process("S", d2))
+	if got != want || got == "" {
+		t.Errorf("survivor output diverges (or is empty):\nchurned:\n%sfresh:\n%s", got, want)
+	}
+}
+
+// TestUnregisterReclaimsTemplateAndPatterns removes the only query of a
+// template: template, shard slot, RT relation/index and pattern demands must
+// all be reclaimed while unrelated queries are untouched.
+func TestUnregisterReclaimsTemplateAndPatterns(t *testing.T) {
+	p := NewProcessor(Config{Workers: 2})
+	keep := p.MustRegister(xscl.MustParse("S//book->x[.//author->a] FOLLOWED BY{a=b, 1000} S//blog->y[.//author->b]"))
+	// Two predicates: a different template and an extra pattern demand.
+	drop := p.MustRegister(xscl.MustParse("S//book->x[.//author->a][.//title->t] JOIN{a=b AND t=u, 1000} S//blog->y[.//author->b][.//title->u]"))
+
+	if p.NumTemplates() != 2 {
+		t.Fatalf("templates = %d, want 2", p.NumTemplates())
+	}
+	patternsBefore := len(p.patternList)
+	p.MustUnregister(drop)
+	if p.NumTemplates() != 1 {
+		t.Errorf("templates after unregister = %d, want 1", p.NumTemplates())
+	}
+	if len(p.patternList) >= patternsBefore {
+		t.Errorf("pattern demands not narrowed: %d -> %d", patternsBefore, len(p.patternList))
+	}
+	total := 0
+	for _, sh := range p.shards {
+		total += len(sh.templates)
+		if len(sh.rt) != len(sh.templates) {
+			t.Errorf("shard %d: %d RT relations for %d templates", sh.id, len(sh.rt), len(sh.templates))
+		}
+	}
+	if total != 1 {
+		t.Errorf("shards own %d templates, want 1", total)
+	}
+	_ = keep
+}
+
+// TestRegisterFailureLeavesNoTrace checks registration atomicity: a failed
+// Register must leave NumTemplates/NumQueries (and everything else
+// observable) unchanged, and the rollback path — registerInstance followed
+// by unregisterInstance — must restore the exact pre-registration shape.
+func TestRegisterFailureLeavesNoTrace(t *testing.T) {
+	p := NewProcessor(Config{Workers: 2})
+	p.MustRegister(xscl.MustParse("S//book->x[.//author->a] FOLLOWED BY{a=b, 1000} S//blog->y[.//author->b]"))
+
+	type snapshot struct {
+		queries, templates, patterns, shard0, shard1, rt0 int
+	}
+	snap := func() snapshot {
+		rt0 := 0
+		for _, sh := range p.shards {
+			for _, rel := range sh.rt {
+				rt0 += rel.Len()
+			}
+		}
+		return snapshot{
+			queries: p.NumQueries(), templates: p.NumTemplates(),
+			patterns: len(p.patternList),
+			shard0:   len(p.shards[0].templates), shard1: len(p.shards[1].templates),
+			rt0: rt0,
+		}
+	}
+	before := snap()
+
+	bad := xscl.MustParse("S//item->x[.//a->v] JOIN{v=w, 10} S//item->y[.//a->w]")
+	bad.Preds[0].LeftVar = "nope"
+	if _, err := p.Register(bad); err == nil {
+		t.Fatal("Register accepted a predicate on an unbound variable")
+	}
+	if after := snap(); after != before {
+		t.Errorf("failed Register left a trace: %+v -> %+v", before, after)
+	}
+
+	// The rollback path itself: register one instance the way Register
+	// does, then tear it down, and require the exact pre-registration
+	// shape back (this is what a second-orientation failure triggers).
+	good := xscl.MustParse("S//item->x[.//a->v] FOLLOWED BY{v=w, 10} S//item->y[.//a->w]")
+	iid, err := p.registerInstance(good, QueryID(999), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.unregisterInstance(iid)
+	if after := snap(); after != before {
+		t.Errorf("registerInstance rollback left a trace: %+v -> %+v", before, after)
+	}
+}
+
+// TestUnregisterErrors checks id validation and double-unregister.
+func TestUnregisterErrors(t *testing.T) {
+	p := NewProcessor(Config{})
+	id := p.MustRegister(xscl.MustParse("S//a->x FOLLOWED BY{x=y, 10} S//b->y"))
+	if err := p.Unregister(QueryID(99)); err == nil {
+		t.Error("unknown id accepted")
+	}
+	if err := p.Unregister(QueryID(-1)); err == nil {
+		t.Error("negative id accepted")
+	}
+	if err := p.Unregister(id); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Unregister(id); err == nil {
+		t.Error("double unregister accepted")
+	}
+}
+
+// TestUnregisterRecomputesWindows requires the GC window maxima to be
+// re-derived from the survivors, so churn does not pin GC to the most
+// generous window ever subscribed.
+func TestUnregisterRecomputesWindows(t *testing.T) {
+	p := NewProcessor(Config{})
+	small := p.MustRegister(xscl.MustParse("S//a->x FOLLOWED BY{x=y, 10} S//b->y"))
+	big := p.MustRegister(xscl.MustParse("S//a->x FOLLOWED BY{x=y, 100000} S//b->y"))
+	inf := p.MustRegister(xscl.MustParse("S//a->x FOLLOWED BY{x=y, INF} S//b->y"))
+	rows := p.MustRegister(xscl.MustParse("S//a->x FOLLOWED BY{x=y, ROWS 50} S//b->y"))
+
+	if !p.anyInfWindow || p.maxFiniteWindow != 100000 || p.maxCountWindow != 50 {
+		t.Fatalf("maxima: finite=%d count=%d inf=%v", p.maxFiniteWindow, p.maxCountWindow, p.anyInfWindow)
+	}
+	p.MustUnregister(inf)
+	if p.anyInfWindow {
+		t.Error("anyInfWindow survives the INF query")
+	}
+	p.MustUnregister(big)
+	if p.maxFiniteWindow != 10 {
+		t.Errorf("maxFiniteWindow = %d, want 10", p.maxFiniteWindow)
+	}
+	p.MustUnregister(rows)
+	if p.maxCountWindow != 0 {
+		t.Errorf("maxCountWindow = %d, want 0", p.maxCountWindow)
+	}
+	_ = small
+}
+
+// TestShardCompactionUnderChurn checks that reclaimed shard slots are
+// refilled: new templates go to the least-loaded shard, not blindly
+// round-robin over ever-growing ids.
+func TestShardCompactionUnderChurn(t *testing.T) {
+	// Distinct templates via distinct value-join counts.
+	mk := func(k int) *xscl.Query {
+		lhs, rhs, pred := "S//item->v0", "S//item->w0", ""
+		for i := 0; i < k; i++ {
+			lhs += fmt.Sprintf("[.//l%d->v%d]", i, i+1)
+			rhs += fmt.Sprintf("[.//l%d->w%d]", i, i+1)
+			if pred != "" {
+				pred += " AND "
+			}
+			pred += fmt.Sprintf("v%d=w%d", i+1, i+1)
+		}
+		return xscl.MustParse(fmt.Sprintf("%s FOLLOWED BY{%s, 10} %s", lhs, pred, rhs))
+	}
+	p := NewProcessor(Config{Workers: 2})
+	var ids []QueryID
+	for k := 1; k <= 4; k++ {
+		ids = append(ids, p.MustRegister(mk(k)))
+	}
+	if len(p.shards[0].templates) != 2 || len(p.shards[1].templates) != 2 {
+		t.Fatalf("initial assignment unbalanced: %d/%d",
+			len(p.shards[0].templates), len(p.shards[1].templates))
+	}
+	// Free two slots on shard 0.
+	p.MustUnregister(ids[0]) // k=1 -> shard 0
+	p.MustUnregister(ids[2]) // k=3 -> shard 0
+	if len(p.shards[0].templates) != 0 || len(p.shards[1].templates) != 2 {
+		t.Fatalf("after unregister: %d/%d, want 0/2",
+			len(p.shards[0].templates), len(p.shards[1].templates))
+	}
+	// Two new distinct templates must both land on the emptied shard.
+	p.MustRegister(mk(5))
+	p.MustRegister(mk(6))
+	if len(p.shards[0].templates) != 2 || len(p.shards[1].templates) != 2 {
+		t.Errorf("churn skewed the shards: %d/%d, want 2/2",
+			len(p.shards[0].templates), len(p.shards[1].templates))
+	}
+}
+
+// TestChurnDeterminism is the lifecycle determinism requirement: a stream
+// processed with publish → GC → publish interleaved with Subscribe and
+// Unsubscribe churn must produce, after the churn, byte-identical per-
+// document output to a fresh processor holding only the surviving query set
+// — at every Workers and PipelineDepth combination.
+func TestChurnDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(909))
+	leafNames := []string{"a", "b", "c", "d"}
+	var surviving, churned []*xscl.Query
+	for i := 0; i < 6; i++ {
+		op := []string{"FOLLOWED BY", "JOIN"}[i%2]
+		surviving = append(surviving, randomFlatQuery(rng, leafNames, 3, int64(5+rng.Intn(20)), op))
+		churned = append(churned, randomFlatQuery(rng, leafNames, 3, int64(5+rng.Intn(40)), op))
+	}
+	var docs []*xmldoc.Document
+	ts := xmldoc.Timestamp(0)
+	for i := 0; i < 160; i++ {
+		ts += xmldoc.Timestamp(rng.Intn(3)) // small windows + dense stream: GC active
+		docs = append(docs, randomFlatDoc(rng, xmldoc.DocID(i+1), ts, leafNames, 2))
+	}
+	const churnAt = 80
+
+	for _, viewMat := range []bool{false, true} {
+		// Reference: a fresh sequential processor holding only the
+		// surviving queries, fed the whole stream.
+		fresh := NewProcessor(Config{ViewMaterialization: viewMat, ViewCacheCapacity: 4})
+		for _, q := range surviving {
+			fresh.MustRegister(q)
+		}
+		var ref []string
+		for _, d := range docs {
+			ref = append(ref, renderMatches(fresh.Process("S", d)))
+		}
+
+		for _, workers := range []int{1, 4} {
+			for _, depth := range []int{0, 2} {
+				cfg := Config{ViewMaterialization: viewMat, ViewCacheCapacity: 4,
+					Workers: workers, PipelineDepth: depth}
+				p := NewProcessor(cfg)
+				var survIDs, churnIDs []QueryID
+				for _, q := range surviving {
+					survIDs = append(survIDs, p.MustRegister(q))
+				}
+				for _, q := range churned {
+					churnIDs = append(churnIDs, p.MustRegister(q))
+				}
+				p.ProcessBatch("S", docs[:churnAt])
+				for _, id := range churnIDs {
+					p.MustUnregister(id)
+				}
+				if p.NumQueries() != len(surviving) {
+					t.Fatalf("NumQueries = %d, want %d", p.NumQueries(), len(surviving))
+				}
+				for di, ms := range p.ProcessBatch("S", docs[churnAt:]) {
+					got := renderMatches(ms)
+					if got != ref[churnAt+di] {
+						t.Fatalf("viewmat=%v workers=%d depth=%d: churned processor diverges from fresh on doc %d:\nchurned:\n%sfresh:\n%s",
+							viewMat, workers, depth, churnAt+di+1, got, ref[churnAt+di])
+					}
+				}
+				_ = survIDs
+			}
+		}
+	}
+}

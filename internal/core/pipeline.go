@@ -29,7 +29,8 @@ func (p *Processor) ProcessBatch(stream string, docs []*xmldoc.Document) [][]Mat
 // Stage 2, state merge, and GC have completed. The engine facade uses the
 // callback to cascade composition publishes between batch documents at the
 // same point the sequential path would. deliver may itself call Process
-// (for derived documents) but must not call Register or ProcessBatch.
+// (for derived documents) but must not call Register, Unregister or
+// ProcessBatch.
 func (p *Processor) ProcessBatchFunc(stream string, docs []*xmldoc.Document, deliver func(i int, matches []Match)) {
 	depth := p.cfg.PipelineDepth
 	if depth <= 1 || len(docs) <= 1 {

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"slices"
 	"time"
 
 	"repro/internal/relation"
@@ -133,18 +134,32 @@ type Processor struct {
 	xp   *yfilter.Engine
 	syms *symtab
 
-	queries   []*xscl.Query // by QueryID
-	instances []*instance   // by instance id (RT qid column)
+	// queries is indexed by QueryID; an Unregistered query leaves a nil
+	// slot so ids stay stable across churn. numQueries counts live slots.
+	// Tombstones cost one pointer per lifetime registration (here and in
+	// instances); bounding memory to the live set instead would put an id
+	// map on the per-match emit path.
+	queries    []*queryRec
+	numQueries int
+	// instances is indexed by instance id (the RT qid column); slots of
+	// unregistered instances are nil — their RT rows are gone, so dead
+	// ids are never looked up during evaluation.
+	instances []*instance
 
 	templates    map[string]*Template
-	templateList []*Template
+	templateList []*Template // live templates, in registration order
+	// nextTemplateID allocates template ids; ids are never reused, so a
+	// reclaimed template's id cannot alias a later one.
+	nextTemplateID TemplateID
 	// shards partition the templates for Stage-2 evaluation; each shard
 	// owns its templates' RT relations, RT indexes, view cache entries
-	// and phase stats (shard.go).
-	shards []*shard
+	// and phase stats (shard.go). tmplShard records each live template's
+	// home shard (assigned least-loaded-first, see assignShard).
+	shards    []*shard
+	tmplShard map[TemplateID]int
 
 	patterns    map[yfilter.PatternID]*patternInfo
-	patternList []*patternInfo
+	patternList []*patternInfo // live patterns, in registration order
 
 	// singleQueries lists single-block (OpNone) queries per pattern.
 	singleQueries map[yfilter.PatternID][]QueryID
@@ -153,14 +168,35 @@ type Processor struct {
 
 	// canonMemo caches canonicalization results by the raw encoding of
 	// the reduced join graph; generated workloads repeat a handful of
-	// raw shapes across hundreds of thousands of queries.
+	// raw shapes across hundreds of thousands of queries. Like the
+	// symtab's interned variables, it is a pure memo retained across
+	// Unregister: memory tracks lifetime-distinct query shapes (small by
+	// the template-sharing premise), not the live query count.
 	canonMemo map[string]canonResult
 
-	maxFiniteWindow int64 // largest finite time window
-	maxCountWindow  int64 // largest finite tuple window
-	anyInfWindow    bool
+	// Window maxima drive GC cutoffs. The holder counts track how many
+	// live join queries sit exactly at each maximum, so Unregister only
+	// rescans the query list when a maximum actually retires — a bulk
+	// drain of N uniform-window queries costs one rescan, not N.
+	maxFiniteWindow  int64 // largest finite time window
+	maxFiniteHolders int
+	maxCountWindow   int64 // largest finite tuple window
+	maxCountHolders  int
+	infWindows       int // live queries with an unbounded window
+	anyInfWindow     bool
 
 	stats Stats
+}
+
+// queryRec is the per-query registration record: everything Unregister needs
+// to undo a Register.
+type queryRec struct {
+	q *xscl.Query
+	// insts lists the query's instance ids (one for FOLLOWED BY, two for
+	// JOIN); empty for single-block queries.
+	insts []int64
+	// single is the pattern of a single-block query (nil otherwise).
+	single *patternInfo
 }
 
 type canonResult struct {
@@ -177,22 +213,47 @@ type instance struct {
 	tmpl       *Template
 	window     int64
 	windowKind xscl.WindowKind
+
+	// vecKey identifies the instance's variable-vector group in its
+	// template (rtplan.go), so Unregister can remove it.
+	vecKey string
+	// left and right are the witness-extraction demands this instance
+	// placed on its block patterns, released on Unregister.
+	left, right patternContrib
+}
+
+// patternContrib is one instance's (or single query's) demand on a block
+// pattern: the structural edges, string-value nodes and root nodes the
+// pattern must extract from each witness on its behalf. Contributions are
+// deduplicated per instance, so acquire/release pair exactly.
+type patternContrib struct {
+	pi       *patternInfo
+	edges    [][2]int32
+	strNodes []int32
+	roots    []int32
 }
 
 // patternInfo records what the Join Processor extracts from the witnesses of
-// one distinct registered pattern.
+// one distinct registered pattern. Each emission set is refcounted over the
+// contributions of the live instances (and single queries) referencing the
+// pattern, so Unregister narrows Stage-1 extraction back to exactly what the
+// surviving queries need.
 type patternInfo struct {
 	yid yfilter.PatternID
 	pat *xpath.Pattern // normalized, fully bound representative
 	// canonIDs[i] is the interned canonical variable of pattern node i.
 	canonIDs []int64
 
-	edgeSet  map[[2]int32]bool
-	edges    [][2]int32 // structural edges to emit, as node index pairs
-	strSet   map[int32]bool
-	strNodes []int32 // nodes whose string values go to RdocW
-	rootSet  map[int32]bool
-	roots    []int32 // nodes emitted to RrootW (single-node template sides)
+	// refs counts live contributions (instance sides and single queries);
+	// at zero the pattern is dropped from the Stage-1 extraction loop.
+	refs int
+
+	edgeCount map[[2]int32]int
+	edges     [][2]int32 // structural edges to emit, as node index pairs
+	strCount  map[int32]int
+	strNodes  []int32 // nodes whose string values go to RdocW
+	rootCount map[int32]int
+	roots     []int32 // nodes emitted to RrootW (single-node template sides)
 }
 
 // NewProcessor returns an empty processor.
@@ -215,6 +276,7 @@ func NewProcessor(cfg Config) *Processor {
 		xp:            yfilter.NewEngine(),
 		syms:          newSymtab(),
 		templates:     map[string]*Template{},
+		tmplShard:     map[TemplateID]int{},
 		patterns:      map[yfilter.PatternID]*patternInfo{},
 		singleQueries: map[yfilter.PatternID][]QueryID{},
 		canonMemo:     map[string]canonResult{},
@@ -232,8 +294,9 @@ func (p *Processor) NumTemplates() int { return len(p.templateList) }
 // Templates returns the registered templates.
 func (p *Processor) Templates() []*Template { return p.templateList }
 
-// NumQueries returns the number of registered queries.
-func (p *Processor) NumQueries() int { return len(p.queries) }
+// NumQueries returns the number of live (registered, not unregistered)
+// queries.
+func (p *Processor) NumQueries() int { return p.numQueries }
 
 // Stats returns the accumulated phase timings: the coordinator's own
 // (Stage 1, maintenance, Stage-2 wall clock) plus every shard's Stage-2
@@ -261,20 +324,28 @@ func (p *Processor) Workers() int { return len(p.shards) }
 // State exposes the join state (read-only use: tests, inspection).
 func (p *Processor) State() *State { return p.state }
 
-// Register adds an XSCL query and returns its id.
+// Register adds an XSCL query and returns its id. Registration is atomic:
+// when any part of it fails, already-registered instances are torn down with
+// the same reclamation path Unregister uses, so a failed Register leaves the
+// processor exactly as it was.
 func (p *Processor) Register(q *xscl.Query) (QueryID, error) {
 	qid := QueryID(len(p.queries))
 
 	if q.Op == xscl.OpNone {
 		pi := p.registerPattern(q.Left)
+		pi.refs++
 		p.singleQueries[pi.yid] = append(p.singleQueries[pi.yid], qid)
-		p.queries = append(p.queries, q)
+		p.queries = append(p.queries, &queryRec{q: q, single: pi})
+		p.numQueries++
 		return qid, nil
 	}
 
-	if err := p.registerInstance(q, qid, false); err != nil {
+	rec := &queryRec{q: q}
+	iid, err := p.registerInstance(q, qid, false)
+	if err != nil {
 		return 0, err
 	}
+	rec.insts = append(rec.insts, iid)
 	if q.Op == xscl.OpJoin {
 		swapped := &xscl.Query{
 			Left: q.Right, Right: q.Left, Op: q.Op,
@@ -287,25 +358,204 @@ func (p *Processor) Register(q *xscl.Query) (QueryID, error) {
 				LeftCanonical: pr.RightCanonical, RightCanonical: pr.LeftCanonical,
 			})
 		}
-		if err := p.registerInstance(swapped, qid, true); err != nil {
+		iid2, err := p.registerInstance(swapped, qid, true)
+		if err != nil {
+			// Roll the first orientation back so the failed Register
+			// has no effect.
+			p.unregisterInstance(iid)
 			return 0, err
 		}
+		rec.insts = append(rec.insts, iid2)
 	}
 
+	p.noteWindow(q)
+	p.queries = append(p.queries, rec)
+	p.numQueries++
+	return qid, nil
+}
+
+// noteWindow folds one join query's window into the GC maxima and holder
+// counts.
+func (p *Processor) noteWindow(q *xscl.Query) {
 	switch {
 	case q.Window == xscl.WindowInf:
+		p.infWindows++
 		p.anyInfWindow = true
 	case q.WindowKind == xscl.WindowCount:
-		if q.Window > p.maxCountWindow {
-			p.maxCountWindow = q.Window
+		switch {
+		case q.Window > p.maxCountWindow:
+			p.maxCountWindow, p.maxCountHolders = q.Window, 1
+		case q.Window == p.maxCountWindow:
+			p.maxCountHolders++
 		}
 	default:
-		if q.Window > p.maxFiniteWindow {
-			p.maxFiniteWindow = q.Window
+		switch {
+		case q.Window > p.maxFiniteWindow:
+			p.maxFiniteWindow, p.maxFiniteHolders = q.Window, 1
+		case q.Window == p.maxFiniteWindow:
+			p.maxFiniteHolders++
 		}
 	}
-	p.queries = append(p.queries, q)
-	return qid, nil
+}
+
+// releaseWindow undoes noteWindow for a removed query and reports whether a
+// maximum lost its last holder, requiring a full recompute. Unbounded
+// windows are counted exactly, so they never force a rescan.
+func (p *Processor) releaseWindow(q *xscl.Query) bool {
+	switch {
+	case q.Window == xscl.WindowInf:
+		p.infWindows--
+		p.anyInfWindow = p.infWindows > 0
+	case q.WindowKind == xscl.WindowCount:
+		if q.Window == p.maxCountWindow {
+			p.maxCountHolders--
+			return p.maxCountHolders == 0
+		}
+	default:
+		if q.Window == p.maxFiniteWindow {
+			p.maxFiniteHolders--
+			return p.maxFiniteHolders == 0
+		}
+	}
+	return false
+}
+
+// Unregister removes a registered query: the query's RT rows and vector
+// groups are dropped, its templates' refcounts are decremented, and a
+// template whose last member query leaves is reclaimed — its per-shard RT
+// relation, RT index and shard slot are released. Pattern extraction demands
+// are refcounted the same way, so Stage 1 stops extracting witness tuples no
+// surviving query needs. When the last query leaves, the processor reclaims
+// everything — join state, view caches and stats — and is observationally
+// identical to a fresh one. Query ids are never reused.
+//
+// Like Register, Unregister must not run concurrently with Process or
+// ProcessBatch (the engine facade serializes them).
+func (p *Processor) Unregister(qid QueryID) error {
+	if qid < 0 || int(qid) >= len(p.queries) || p.queries[qid] == nil {
+		return fmt.Errorf("core: unknown query id %d", qid)
+	}
+	rec := p.queries[qid]
+	if rec.single != nil {
+		pi := rec.single
+		list := removeFirst(p.singleQueries[pi.yid], qid)
+		if len(list) == 0 {
+			delete(p.singleQueries, pi.yid)
+		} else {
+			p.singleQueries[pi.yid] = list
+		}
+		pi.refs--
+		if pi.refs == 0 {
+			p.removePattern(pi)
+		}
+	}
+	for _, iid := range rec.insts {
+		p.unregisterInstance(iid)
+	}
+	p.queries[qid] = nil
+	p.numQueries--
+	// Re-derive the GC window maxima only when a maximum lost its last
+	// holder — a full scan per removal would make bulk drains quadratic
+	// in lifetime registrations.
+	if rec.q.Op != xscl.OpNone && p.releaseWindow(rec.q) {
+		p.recomputeWindows()
+	}
+	if p.numQueries == 0 {
+		p.reclaimAll()
+	}
+	return nil
+}
+
+// MustUnregister is Unregister, panicking on error (tests, examples).
+func (p *Processor) MustUnregister(qid QueryID) {
+	if err := p.Unregister(qid); err != nil {
+		panic(err)
+	}
+}
+
+// unregisterInstance reclaims one query instance: its RT row, its vector
+// group entry, its pattern contributions, and — when it was the template's
+// last instance — the template itself. It is both the Unregister work-horse
+// and the rollback path of a partially failed Register.
+func (p *Processor) unregisterInstance(iid int64) {
+	inst := p.instances[iid]
+	t := inst.tmpl
+	sh := p.shardOf(t)
+	sh.rt[t.ID] = sh.rt[t.ID].Select(func(row relation.Tuple) bool {
+		return row[0].I != iid
+	})
+	sh.rtDirty[t.ID] = true
+	t.removeVector(inst.vecKey, iid)
+
+	inst.left.pi.release(inst.left)
+	inst.right.pi.release(inst.right)
+	if inst.left.pi.refs == 0 {
+		p.removePattern(inst.left.pi)
+	}
+	if inst.right.pi != inst.left.pi && inst.right.pi.refs == 0 {
+		p.removePattern(inst.right.pi)
+	}
+
+	t.refs--
+	if t.refs == 0 {
+		p.removeTemplate(t)
+	}
+	p.instances[iid] = nil
+}
+
+// removeTemplate reclaims a template whose last instance left: its shard
+// slot, RT relation and RT index are dropped, freeing the slot for future
+// templates (assignShard fills the least-loaded shard first, so churn
+// compacts instead of skewing).
+func (p *Processor) removeTemplate(t *Template) {
+	delete(p.templates, t.Sig)
+	p.templateList = removeFirst(p.templateList, t)
+	sh := p.shardOf(t)
+	sh.templates = removeFirst(sh.templates, t)
+	delete(sh.rt, t.ID)
+	delete(sh.rtIndex, t.ID)
+	delete(sh.rtDirty, t.ID)
+	delete(p.tmplShard, t.ID)
+}
+
+// removePattern drops a pattern no live query references from the Stage-1
+// extraction loop. The shared NFA keeps its states (they are shared across
+// patterns and rebuilding it would stall ingestion), but the pattern is
+// marked dead so candidate collection for its exclusive path prefixes stops
+// — per-document Stage-1 cost tracks the live pattern set. A later Register
+// of an equal pattern revives it.
+func (p *Processor) removePattern(pi *patternInfo) {
+	delete(p.patterns, pi.yid)
+	p.patternList = removeFirst(p.patternList, pi)
+	p.xp.SetLive(pi.yid, false)
+}
+
+// recomputeWindows re-derives the window maxima from the live queries, so GC
+// aggressiveness after churn matches a fresh processor holding the same
+// query set.
+func (p *Processor) recomputeWindows() {
+	p.maxFiniteWindow, p.maxFiniteHolders = 0, 0
+	p.maxCountWindow, p.maxCountHolders = 0, 0
+	p.infWindows, p.anyInfWindow = 0, false
+	for _, rec := range p.queries {
+		if rec != nil && rec.q.Op != xscl.OpNone {
+			p.noteWindow(rec.q)
+		}
+	}
+}
+
+// reclaimAll resets the processor to its initial state once the last query
+// has been unregistered: join state, per-shard view caches and stats are all
+// released, making the processor observationally identical to a fresh one
+// (query and template ids are still never reused; the caches' cumulative
+// hit/miss/invalidation counters survive, like any diagnostics counter).
+func (p *Processor) reclaimAll() {
+	p.state = NewState()
+	p.stats = Stats{}
+	for _, sh := range p.shards {
+		sh.cache.Clear()
+		sh.stats = Stats{}
+	}
 }
 
 // MustRegister is Register, panicking on error (tests, examples).
@@ -317,10 +567,13 @@ func (p *Processor) MustRegister(q *xscl.Query) QueryID {
 	return id
 }
 
-func (p *Processor) registerInstance(q *xscl.Query, qid QueryID, swapped bool) error {
+// registerInstance registers one orientation of a join query and returns its
+// instance id. All mutations happen after the fallible analysis steps, so a
+// returned error implies no processor state changed.
+func (p *Processor) registerInstance(q *xscl.Query, qid QueryID, swapped bool) (int64, error) {
 	jg, err := BuildJoinGraph(q)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	red := jg.Minor()
 	raw := RawEncode(red)
@@ -335,7 +588,8 @@ func (p *Processor) registerInstance(q *xscl.Query, qid QueryID, swapped bool) e
 	tmpl := p.templates[sig]
 	if tmpl == nil {
 		tmpl = NewTemplateFromCanonical(sig, red, order)
-		tmpl.ID = TemplateID(len(p.templateList))
+		tmpl.ID = p.nextTemplateID
+		p.nextTemplateID++
 		p.templates[sig] = tmpl
 		p.templateList = append(p.templateList, tmpl)
 		cols := []string{"qid"}
@@ -343,51 +597,48 @@ func (p *Processor) registerInstance(q *xscl.Query, qid QueryID, swapped bool) e
 			cols = append(cols, fmt.Sprintf("v%d", i))
 		}
 		cols = append(cols, "wl")
-		sh := p.shardOf(tmpl)
+		sh := p.assignShard(tmpl)
 		sh.templates = append(sh.templates, tmpl)
 		sh.rt[tmpl.ID] = relation.New(cols...)
 	}
+	tmpl.refs++
 
 	// Register the two block patterns and record, per pattern, the
-	// structural edges, string-value nodes and root nodes the template
-	// needs.
+	// structural edges, string-value nodes and root nodes this instance
+	// needs (acquired refcounted, released on Unregister).
 	lpi := p.registerPattern(q.Left)
 	rpi := p.registerPattern(q.Right)
 	_, lmap := q.Left.NormalizedFullyBound()
 	_, rmap := q.Right.NormalizedFullyBound()
 
-	sideInfo := func(side Side) (*patternInfo, []int) {
+	lc := patternContrib{pi: lpi}
+	rc := patternContrib{pi: rpi}
+	contribOf := func(side Side) (*patternContrib, []int, []JGNode) {
 		if side == Left {
-			return lpi, lmap
+			return &lc, lmap, red.LeftSide.Nodes
 		}
-		return rpi, rmap
-	}
-	sideNodes := func(side Side) []JGNode {
-		if side == Left {
-			return red.LeftSide.Nodes
-		}
-		return red.RightSide.Nodes
+		return &rc, rmap, red.RightSide.Nodes
 	}
 	for _, side := range []Side{Left, Right} {
-		pi, imap := sideInfo(side)
-		nodes := sideNodes(side)
-		for i, nd := range nodes {
+		c, imap, nodes := contribOf(side)
+		for _, nd := range nodes {
 			norm := int32(imap[nd.PatternNode.Index])
 			if nd.Parent >= 0 {
 				parent := int32(imap[nodes[nd.Parent].PatternNode.Index])
-				pi.addEdge(parent, norm)
+				c.addEdge(parent, norm)
 			}
-			_ = i
 		}
 		if len(nodes) == 1 {
-			pi.addRoot(int32(imap[nodes[0].PatternNode.Index]))
+			c.addRoot(int32(imap[nodes[0].PatternNode.Index]))
 		}
 	}
 	// Value-join endpoints need string values.
 	for _, e := range red.VJ {
-		lpi.addStrNode(int32(lmap[red.LeftSide.Nodes[e.L].PatternNode.Index]))
-		rpi.addStrNode(int32(rmap[red.RightSide.Nodes[e.R].PatternNode.Index]))
+		lc.addStrNode(int32(lmap[red.LeftSide.Nodes[e.L].PatternNode.Index]))
+		rc.addStrNode(int32(rmap[red.RightSide.Nodes[e.R].PatternNode.Index]))
 	}
+	lpi.acquire(lc)
+	rpi.acquire(rc)
 
 	// Insert the query's RT tuple: its canonical variable at each
 	// template position, and its window length.
@@ -411,38 +662,97 @@ func (p *Processor) registerInstance(q *xscl.Query, qid QueryID, swapped bool) e
 	sh := p.shardOf(tmpl)
 	sh.rt[tmpl.ID].Insert(row...)
 	sh.rtDirty[tmpl.ID] = true
-	tmpl.addVector(varIDs, iid, q.Window)
+	vecKey := tmpl.addVector(varIDs, iid, q.Window)
 
 	p.instances = append(p.instances, &instance{
 		qid: qid, op: q.Op, swapped: swapped, tmpl: tmpl,
 		window: q.Window, windowKind: q.WindowKind,
+		vecKey: vecKey, left: lc, right: rc,
 	})
-	return nil
+	return iid, nil
 }
 
-func (pi *patternInfo) addEdge(a, b int32) {
+// addEdge records a structural edge in the contribution, deduplicated
+// within the instance.
+func (c *patternContrib) addEdge(a, b int32) {
 	k := [2]int32{a, b}
-	if pi.edgeSet[k] {
-		return
+	for _, e := range c.edges {
+		if e == k {
+			return
+		}
 	}
-	pi.edgeSet[k] = true
-	pi.edges = append(pi.edges, k)
+	c.edges = append(c.edges, k)
 }
 
-func (pi *patternInfo) addStrNode(n int32) {
-	if pi.strSet[n] {
-		return
+func (c *patternContrib) addStrNode(n int32) {
+	for _, s := range c.strNodes {
+		if s == n {
+			return
+		}
 	}
-	pi.strSet[n] = true
-	pi.strNodes = append(pi.strNodes, n)
+	c.strNodes = append(c.strNodes, n)
 }
 
-func (pi *patternInfo) addRoot(n int32) {
-	if pi.rootSet[n] {
-		return
+func (c *patternContrib) addRoot(n int32) {
+	for _, r := range c.roots {
+		if r == n {
+			return
+		}
 	}
-	pi.rootSet[n] = true
-	pi.roots = append(pi.roots, n)
+	c.roots = append(c.roots, n)
+}
+
+// acquire folds a contribution into the pattern's refcounted emission sets;
+// an item appearing for the first time joins the emission lists.
+func (pi *patternInfo) acquire(c patternContrib) {
+	pi.refs++
+	for _, k := range c.edges {
+		if pi.edgeCount[k]++; pi.edgeCount[k] == 1 {
+			pi.edges = append(pi.edges, k)
+		}
+	}
+	for _, n := range c.strNodes {
+		if pi.strCount[n]++; pi.strCount[n] == 1 {
+			pi.strNodes = append(pi.strNodes, n)
+		}
+	}
+	for _, n := range c.roots {
+		if pi.rootCount[n]++; pi.rootCount[n] == 1 {
+			pi.roots = append(pi.roots, n)
+		}
+	}
+}
+
+// release undoes acquire; an item whose count reaches zero leaves the
+// emission lists (order of the survivors is preserved).
+func (pi *patternInfo) release(c patternContrib) {
+	pi.refs--
+	for _, k := range c.edges {
+		if pi.edgeCount[k]--; pi.edgeCount[k] == 0 {
+			delete(pi.edgeCount, k)
+			pi.edges = removeFirst(pi.edges, k)
+		}
+	}
+	for _, n := range c.strNodes {
+		if pi.strCount[n]--; pi.strCount[n] == 0 {
+			delete(pi.strCount, n)
+			pi.strNodes = removeFirst(pi.strNodes, n)
+		}
+	}
+	for _, n := range c.roots {
+		if pi.rootCount[n]--; pi.rootCount[n] == 0 {
+			delete(pi.rootCount, n)
+			pi.roots = removeFirst(pi.roots, n)
+		}
+	}
+}
+
+// removeFirst removes the first occurrence of v from s, preserving order.
+func removeFirst[T comparable](s []T, v T) []T {
+	if i := slices.Index(s, v); i >= 0 {
+		return slices.Delete(s, i, i+1)
+	}
+	return s
 }
 
 // registerPattern registers the normalized, fully-bound form of the block
@@ -456,10 +766,10 @@ func (p *Processor) registerPattern(block *xpath.Pattern) *patternInfo {
 	rep := p.xp.Pattern(yid)
 	pi := &patternInfo{
 		yid: yid, pat: rep,
-		canonIDs: make([]int64, len(rep.Nodes)),
-		edgeSet:  map[[2]int32]bool{},
-		strSet:   map[int32]bool{},
-		rootSet:  map[int32]bool{},
+		canonIDs:  make([]int64, len(rep.Nodes)),
+		edgeCount: map[[2]int32]int{},
+		strCount:  map[int32]int{},
+		rootCount: map[int32]int{},
 	}
 	for i, n := range rep.Nodes {
 		pi.canonIDs[i] = p.syms.intern(rep.CanonicalVar(n))
@@ -486,7 +796,7 @@ type stage1Result struct {
 // relation construction, and single-block match emission. It only reads
 // registration-time structures (the shared NFA, pattern infos, query lists),
 // so concurrent calls for different documents are safe as long as no
-// Register runs concurrently.
+// Register or Unregister runs concurrently.
 func (p *Processor) runStage1(stream string, d *xmldoc.Document) *stage1Result {
 	r := &stage1Result{doc: d, w: NewCurrentWitness(d)}
 	t0 := time.Now()
@@ -567,9 +877,14 @@ func (p *Processor) consumeStage1(r *stage1Result) []Match {
 			cutoffSeq = p.state.nextSeq - p.maxCountWindow
 		}
 		if p.state.shouldGC(cutoffTS, cutoffSeq) {
-			p.state.GC(cutoffTS, cutoffSeq)
-			for _, sh := range p.shards {
-				sh.cache.Clear() // cached slices may contain expired rows
+			// Invalidation is scoped: only cache entries whose slices
+			// reference an expired document are dropped; surviving
+			// entries stay exact, since Algorithm-5 maintenance keeps
+			// them in sync with every merge.
+			if expired := p.state.GC(cutoffTS, cutoffSeq); len(expired) > 0 {
+				for _, sh := range p.shards {
+					sh.cache.InvalidateDocs(expired)
+				}
 			}
 		}
 	}
@@ -750,7 +1065,7 @@ func (p *Processor) maintainCache(w *CurrentWitness) {
 	did := relation.Int(int64(w.DocID))
 	for _, row := range w.rrSlices.Rows {
 		s := row[4].S
-		slice, ok := p.shardOfString(s).cache.Get(s)
+		slice, ok := p.shardOfString(s).cache.GetAndNote(s, w.DocID)
 		if !ok {
 			continue
 		}

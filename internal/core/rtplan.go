@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"slices"
 
 	"repro/internal/relation"
 	"repro/internal/xmldoc"
@@ -35,8 +36,9 @@ type vecGroup struct {
 	wls   []int64 // window per instance
 }
 
-// addVector records an instance's variable vector in its template.
-func (t *Template) addVector(vars []int64, iid, wl int64) {
+// addVector records an instance's variable vector in its template and
+// returns the group key (kept by the instance for removeVector).
+func (t *Template) addVector(vars []int64, iid, wl int64) string {
 	key := fmt.Sprint(vars)
 	if t.vectors == nil {
 		t.vectors = map[string]*vecGroup{}
@@ -49,6 +51,26 @@ func (t *Template) addVector(vars []int64, iid, wl int64) {
 	}
 	g.insts = append(g.insts, iid)
 	g.wls = append(g.wls, wl)
+	return key
+}
+
+// removeVector removes an unregistered instance from its vector group; a
+// group whose last instance leaves is dropped entirely, so the RT-driven
+// plan never iterates vectors no live query shares.
+func (t *Template) removeVector(key string, iid int64) {
+	g, ok := t.vectors[key]
+	if !ok {
+		return
+	}
+	if i := slices.Index(g.insts, iid); i >= 0 {
+		g.insts = slices.Delete(g.insts, i, i+1)
+		g.wls = slices.Delete(g.wls, i, i+1)
+	}
+	if len(g.insts) > 0 {
+		return
+	}
+	delete(t.vectors, key)
+	t.vecList = removeFirst(t.vecList, g)
 }
 
 // witnessFanout estimates the intermediate-result size of the witness-driven

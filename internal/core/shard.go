@@ -10,15 +10,19 @@ import (
 	"repro/internal/xmldoc"
 )
 
-// Stage-2 evaluation is template-sharded: templates are assigned to shards
-// round-robin by template id, and each shard owns every piece of mutable
-// per-template state — the query relations RT, their hash indexes, the view
-// cache entries of the strings it owns, and the phase stats. Workers
-// therefore share no mutable data during a Process call: the join state and
-// the current witness are read-only inputs, and each worker evaluates only
-// its own shard's templates. Matches from all shards are merged under a
-// total order (sortMatches), so the output is identical for every worker
-// count, including Workers = 1.
+// Stage-2 evaluation is template-sharded: each new template is assigned to
+// the currently least-loaded shard (lowest shard id on ties — round-robin
+// while no template has ever been reclaimed), and each shard owns every
+// piece of mutable per-template state — the query relations RT, their hash
+// indexes, the view cache entries of the strings it owns, and the phase
+// stats. Unregistering a template frees its shard slot, and because
+// assignment always fills the emptiest shard first, subscription churn
+// compacts the assignment instead of skewing it. Workers therefore share no
+// mutable data during a Process call: the join state and the current witness
+// are read-only inputs, and each worker evaluates only its own shard's
+// templates. Matches from all shards are merged under a total order
+// (sortMatches), so the output is identical for every worker count,
+// including Workers = 1.
 
 // shard is one unit of Stage-2 parallelism.
 type shard struct {
@@ -47,9 +51,24 @@ func newShard(id, cacheCapacity int) *shard {
 	}
 }
 
+// assignShard picks the home shard of a newly created template — the shard
+// currently owning the fewest templates, lowest id on ties — and records the
+// assignment. With no churn this degenerates to round-robin; under churn it
+// refills reclaimed slots, keeping the shards balanced.
+func (p *Processor) assignShard(t *Template) *shard {
+	best := p.shards[0]
+	for _, sh := range p.shards[1:] {
+		if len(sh.templates) < len(best.templates) {
+			best = sh
+		}
+	}
+	p.tmplShard[t.ID] = best.id
+	return best
+}
+
 // shardOf returns the shard owning a template.
 func (p *Processor) shardOf(t *Template) *shard {
-	return p.shards[int(t.ID)%len(p.shards)]
+	return p.shards[p.tmplShard[t.ID]]
 }
 
 // shardOfString returns the shard owning a string's view-cache entry
@@ -106,6 +125,9 @@ func (sh *shard) rtAtom(t *Template) relation.Atom {
 // evalTemplates fans Stage-2 template evaluation out over the shards and
 // merges the matches deterministically.
 func (p *Processor) evalTemplates(w *CurrentWitness, d *xmldoc.Document) []Match {
+	if len(p.templateList) == 0 {
+		return nil
+	}
 	var pre *stage2Shared
 	if p.cfg.ViewMaterialization {
 		pre = p.prepareViewMat(w)

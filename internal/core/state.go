@@ -201,8 +201,10 @@ func (s *State) SliceEL(str string) *relation.Relation {
 // GC removes all state belonging to documents expired in both window
 // dimensions (timestamp < cutoffTS and arrival index < cutoffSeq).
 // Relations are rebuilt (they are append-only row stores); the incremental
-// indexes are rebuilt alongside.
-func (s *State) GC(cutoffTS xmldoc.Timestamp, cutoffSeq int64) {
+// indexes are rebuilt alongside. The expired document set is returned so
+// callers can scope downstream invalidation (view-cache entries) to exactly
+// the documents that left.
+func (s *State) GC(cutoffTS xmldoc.Timestamp, cutoffSeq int64) map[xmldoc.DocID]bool {
 	expired := map[xmldoc.DocID]bool{}
 	keptIDs := s.docIDs[:0]
 	for _, id := range s.docIDs {
@@ -217,7 +219,7 @@ func (s *State) GC(cutoffTS xmldoc.Timestamp, cutoffSeq int64) {
 	}
 	s.docIDs = keptIDs
 	if len(expired) == 0 {
-		return
+		return expired
 	}
 	filter := func(r *relation.Relation) *relation.Relation {
 		c := r.Schema.Col("docid")
@@ -240,13 +242,21 @@ func (s *State) GC(cutoffTS xmldoc.Timestamp, cutoffSeq int64) {
 		vk := [2]int64{t[1].I, t[2].I}
 		s.rbinByVars[vk] = append(s.rbinByVars[vk], i)
 	}
+	return expired
 }
+
+// gcBatchMin is the expired-prefix length beyond which a GC pays for the
+// state rebuild regardless of the live fraction.
+const gcBatchMin = 32
 
 // shouldGC reports whether enough documents have expired to make rebuilding
 // the join state worthwhile. A document is expired when its timestamp is
 // below cutoffTS AND its arrival index is below cutoffSeq (pass the maximum
 // value for a dimension with no active windows). Documents arrive in
-// timestamp order, so expired documents form a prefix of docIDs.
+// timestamp order, so expired documents form a prefix of docIDs: the scan
+// stops at the first live document (and at gcBatchMin, when the verdict is
+// already decided), so this per-publish check is O(min(expired, gcBatchMin)),
+// never O(total documents).
 func (s *State) shouldGC(cutoffTS xmldoc.Timestamp, cutoffSeq int64) bool {
 	expired := 0
 	for _, id := range s.docIDs {
@@ -254,8 +264,11 @@ func (s *State) shouldGC(cutoffTS xmldoc.Timestamp, cutoffSeq int64) bool {
 			break
 		}
 		expired++
+		if expired >= gcBatchMin {
+			return true
+		}
 	}
-	return expired > 0 && (expired >= 32 || 2*expired >= len(s.docIDs))
+	return expired > 0 && 2*expired >= len(s.docIDs)
 }
 
 // Doc returns a retained document, or nil.

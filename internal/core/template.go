@@ -33,6 +33,11 @@ type Template struct {
 	// the unit of work of the RT-driven plan (rtplan.go).
 	vectors map[string]*vecGroup
 	vecList []*vecGroup
+
+	// refs counts the live query instances registered on this template;
+	// at zero the processor reclaims the template and everything it owns
+	// (processor.go Unregister).
+	refs int
 }
 
 // NewTemplateFromCanonical builds the template structure from a reduced join

@@ -4,6 +4,7 @@ import (
 	"container/list"
 
 	"repro/internal/relation"
+	"repro/internal/xmldoc"
 )
 
 // ViewCache is the Section-5 cache of materialized RL slices: each entry is
@@ -18,11 +19,30 @@ type ViewCache struct {
 	order    *list.List // front = most recently used
 
 	hits, misses, evictions int64
+	// invalidations counts entries dropped because their contents became
+	// stale (window GC expiring documents their slices reference) rather
+	// than evicted for capacity.
+	invalidations int64
 }
 
 type cacheEntry struct {
 	key   string
 	slice *relation.Relation
+	// docs is the set of documents the slice references, so GC staleness
+	// checks are O(expired docs) instead of rescanning every slice row.
+	docs map[xmldoc.DocID]struct{}
+}
+
+// sliceDocs collects the distinct docids of a slice (one pass, paid when the
+// entry is created or replaced — the same order of work that computed the
+// slice itself).
+func sliceDocs(slice *relation.Relation) map[xmldoc.DocID]struct{} {
+	docs := map[xmldoc.DocID]struct{}{}
+	col := slice.Schema.Col("docid")
+	for _, row := range slice.Rows {
+		docs[xmldoc.DocID(row[col].I)] = struct{}{}
+	}
+	return docs
 }
 
 // NewViewCache returns a cache bounded to capacity entries (0 = unbounded).
@@ -50,11 +70,13 @@ func (c *ViewCache) Get(s string) (*relation.Relation, bool) {
 // used entry if the capacity is exceeded.
 func (c *ViewCache) Put(s string, slice *relation.Relation) {
 	if e, ok := c.entries[s]; ok {
-		e.Value.(*cacheEntry).slice = slice
+		ent := e.Value.(*cacheEntry)
+		ent.slice = slice
+		ent.docs = sliceDocs(slice)
 		c.order.MoveToFront(e)
 		return
 	}
-	e := c.order.PushFront(&cacheEntry{key: s, slice: slice})
+	e := c.order.PushFront(&cacheEntry{key: s, slice: slice, docs: sliceDocs(slice)})
 	c.entries[s] = e
 	if c.capacity > 0 && len(c.entries) > c.capacity {
 		last := c.order.Back()
@@ -64,11 +86,64 @@ func (c *ViewCache) Put(s string, slice *relation.Relation) {
 	}
 }
 
-// Clear drops all entries (used after state GC, which may invalidate cached
-// rows).
+// Clear drops all entries, accounting for them as invalidations. It is the
+// whole-cache staleness path: full state reclamation when the last query
+// unregisters (processor.reclaimAll).
 func (c *ViewCache) Clear() {
+	c.invalidations += int64(len(c.entries))
 	c.entries = map[string]*list.Element{}
 	c.order.Init()
+}
+
+// GetAndNote is Get for the Algorithm-5 maintenance path: the caller is
+// about to insert rows of document d into the returned slice, so the
+// entry's doc set is updated in the same lookup.
+func (c *ViewCache) GetAndNote(s string, d xmldoc.DocID) (*relation.Relation, bool) {
+	e, ok := c.entries[s]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.order.MoveToFront(e)
+	ent := e.Value.(*cacheEntry)
+	ent.docs[d] = struct{}{}
+	return ent.slice, true
+}
+
+// InvalidateDocs drops exactly the entries whose slices reference an expired
+// document, leaving every other entry in place (incremental maintenance
+// keeps survivors exact). Used after window GC instead of a full Clear. The
+// check walks the per-entry doc sets, never the slice rows, so the cost is
+// O(entries × min(docs per entry, expired)).
+func (c *ViewCache) InvalidateDocs(expired map[xmldoc.DocID]bool) {
+	if len(expired) == 0 || len(c.entries) == 0 {
+		return
+	}
+	for key, e := range c.entries {
+		docs := e.Value.(*cacheEntry).docs
+		stale := false
+		if len(docs) <= len(expired) {
+			for d := range docs {
+				if expired[d] {
+					stale = true
+					break
+				}
+			}
+		} else {
+			for d := range expired {
+				if _, ok := docs[d]; ok {
+					stale = true
+					break
+				}
+			}
+		}
+		if stale {
+			c.order.Remove(e)
+			delete(c.entries, key)
+			c.invalidations++
+		}
+	}
 }
 
 // Len returns the number of cached slices.
@@ -78,3 +153,7 @@ func (c *ViewCache) Len() int { return len(c.entries) }
 func (c *ViewCache) HitRate() (hits, misses, evictions int64) {
 	return c.hits, c.misses, c.evictions
 }
+
+// Invalidations returns the number of entries dropped as stale (Clear and
+// InvalidateDocs) since creation.
+func (c *ViewCache) Invalidations() int64 { return c.invalidations }

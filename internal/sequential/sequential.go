@@ -12,6 +12,7 @@
 package sequential
 
 import (
+	"fmt"
 	"math"
 	"time"
 
@@ -59,9 +60,15 @@ type queryPlan struct {
 
 // Processor is the sequential baseline engine.
 type Processor struct {
-	xp       *yfilter.Engine
-	queries  []*queryPlan
-	plansByP map[yfilter.PatternID]bool
+	xp *yfilter.Engine
+	// queries is indexed by QueryID; Unregister leaves a nil slot so ids
+	// stay stable. numQueries counts live slots.
+	queries    []*queryPlan
+	numQueries int
+	// plansByP refcounts, per distinct pattern, the live join-query block
+	// references; the witness store of a pattern whose count reaches zero
+	// is reclaimed.
+	plansByP map[yfilter.PatternID]int
 
 	// store holds, per distinct pattern, the witnesses of all previous
 	// documents.
@@ -81,13 +88,14 @@ type Processor struct {
 func NewProcessor() *Processor {
 	return &Processor{
 		xp:       yfilter.NewEngine(),
-		plansByP: map[yfilter.PatternID]bool{},
+		plansByP: map[yfilter.PatternID]int{},
 		store:    map[yfilter.PatternID][]storedWitness{},
 	}
 }
 
-// NumQueries returns the number of registered queries.
-func (p *Processor) NumQueries() int { return len(p.queries) }
+// NumQueries returns the number of live (registered, not unregistered)
+// queries.
+func (p *Processor) NumQueries() int { return p.numQueries }
 
 // JoinTime returns the cumulative wall-clock time spent in per-query join
 // evaluation (the quantity the paper's figures report for Sequential).
@@ -104,6 +112,7 @@ func (p *Processor) Register(q *xscl.Query) (QueryID, error) {
 		p.queries = append(p.queries, &queryPlan{
 			id: qid, op: q.Op, left: p.xp.Register(lp), right: -1,
 		})
+		p.numQueries++
 		return qid, nil
 	}
 	lp, lmap := q.Left.NormalizedFullyBound()
@@ -120,21 +129,28 @@ func (p *Processor) Register(q *xscl.Query) (QueryID, error) {
 		plan.rightVJ = append(plan.rightVJ, int32(rmap[rn.Index]))
 	}
 	p.queries = append(p.queries, plan)
-	p.plansByP[plan.left] = true
-	p.plansByP[plan.right] = true
+	p.numQueries++
+	p.plansByP[plan.left]++
+	p.plansByP[plan.right]++
+	p.noteWindow(q.Window, q.WindowKind)
+	return qid, nil
+}
+
+// noteWindow folds one join query's window into the GC maxima (shared by
+// Register and the Unregister recompute).
+func (p *Processor) noteWindow(window int64, kind xscl.WindowKind) {
 	switch {
-	case q.Window == xscl.WindowInf:
+	case window == xscl.WindowInf:
 		p.anyInfWindow = true
-	case q.WindowKind == xscl.WindowCount:
-		if q.Window > p.maxCountWindow {
-			p.maxCountWindow = q.Window
+	case kind == xscl.WindowCount:
+		if window > p.maxCountWindow {
+			p.maxCountWindow = window
 		}
 	default:
-		if q.Window > p.maxFiniteWindow {
-			p.maxFiniteWindow = q.Window
+		if window > p.maxFiniteWindow {
+			p.maxFiniteWindow = window
 		}
 	}
-	return qid, nil
 }
 
 // MustRegister is Register, panicking on error.
@@ -144,6 +160,34 @@ func (p *Processor) MustRegister(q *xscl.Query) QueryID {
 		panic(err)
 	}
 	return id
+}
+
+// Unregister removes a query. The witness store of a pattern no surviving
+// join query reads is reclaimed, window maxima are recomputed from the
+// survivors, and unregistering the last query empties the store entirely.
+// Query ids are never reused.
+func (p *Processor) Unregister(id QueryID) error {
+	if id < 0 || int(id) >= len(p.queries) || p.queries[id] == nil {
+		return fmt.Errorf("sequential: unknown query id %d", id)
+	}
+	plan := p.queries[id]
+	p.queries[id] = nil
+	p.numQueries--
+	if plan.op != xscl.OpNone {
+		for _, pid := range []yfilter.PatternID{plan.left, plan.right} {
+			if p.plansByP[pid]--; p.plansByP[pid] == 0 {
+				delete(p.plansByP, pid)
+				delete(p.store, pid)
+			}
+		}
+	}
+	p.maxFiniteWindow, p.maxCountWindow, p.anyInfWindow = 0, 0, false
+	for _, pl := range p.queries {
+		if pl != nil && pl.op != xscl.OpNone {
+			p.noteWindow(pl.window, pl.windowKind)
+		}
+	}
+	return nil
 }
 
 // Process evaluates all queries against the incoming document, one query at
@@ -169,6 +213,9 @@ func (p *Processor) Process(stream string, d *xmldoc.Document) []Match {
 	var out []Match
 	t0 := time.Now()
 	for _, plan := range p.queries {
+		if plan == nil {
+			continue
+		}
 		if plan.op == xscl.OpNone {
 			for _, w := range witnessesOf(plan.left) {
 				out = append(out, Match{

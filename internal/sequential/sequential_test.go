@@ -109,3 +109,55 @@ func TestJoinTimeAccumulates(t *testing.T) {
 		t.Error("reset failed")
 	}
 }
+
+func TestUnregisterLifecycle(t *testing.T) {
+	p := NewProcessor()
+	q1 := p.MustRegister(xscl.PaperQ1(1000))
+	q2 := p.MustRegister(xscl.MustParse("S//a->x FOLLOWED BY{x=y, 10} S//a->y"))
+	if p.NumQueries() != 2 {
+		t.Fatalf("NumQueries = %d", p.NumQueries())
+	}
+	if err := p.Unregister(q2); err != nil {
+		t.Fatal(err)
+	}
+	if p.NumQueries() != 1 {
+		t.Errorf("NumQueries = %d after unregister", p.NumQueries())
+	}
+	if err := p.Unregister(q2); err == nil {
+		t.Error("double unregister accepted")
+	}
+	if err := p.Unregister(QueryID(42)); err == nil {
+		t.Error("unknown id accepted")
+	}
+	// Survivor still matches, window maxima recomputed from survivors.
+	if p.maxFiniteWindow != 1000 {
+		t.Errorf("maxFiniteWindow = %d, want 1000", p.maxFiniteWindow)
+	}
+	p.Process("S", xmldoc.PaperD1(1, 100))
+	ms := p.Process("S", xmldoc.PaperD2(2, 200))
+	if len(ms) != 1 || ms[0].Query != q1 {
+		t.Errorf("survivor matches = %v", ms)
+	}
+	// Draining the last query reclaims the witness stores of its patterns.
+	if err := p.Unregister(q1); err != nil {
+		t.Fatal(err)
+	}
+	if p.NumQueries() != 0 {
+		t.Errorf("NumQueries = %d after drain", p.NumQueries())
+	}
+	total := 0
+	for _, sws := range p.store {
+		total += len(sws)
+	}
+	if total != 0 {
+		t.Errorf("witness store holds %d rows after draining all queries", total)
+	}
+	if p.maxFiniteWindow != 0 || p.anyInfWindow || p.maxCountWindow != 0 {
+		t.Errorf("window maxima survive drain: %d %d %v", p.maxFiniteWindow, p.maxCountWindow, p.anyInfWindow)
+	}
+	// An unregistered query's matches never reappear.
+	p.Process("S", xmldoc.PaperD1(3, 300))
+	if ms := p.Process("S", xmldoc.PaperD2(4, 400)); len(ms) != 0 {
+		t.Errorf("drained processor produced matches: %v", ms)
+	}
+}

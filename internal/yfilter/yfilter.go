@@ -44,6 +44,11 @@ type streamNFA struct {
 	numPrefix  int
 	patterns   []PatternID // patterns registered on this stream
 	stateCount int
+	// prefixLive[p] counts the live patterns referencing prefix p;
+	// candidate collection is skipped for prefixes only dead patterns
+	// need, so per-document cost tracks the live set, not every pattern
+	// ever registered.
+	prefixLive []int
 }
 
 // Engine is the shared XPath evaluator.
@@ -58,6 +63,11 @@ type Engine struct {
 	// at node i contains a bound variable (used to cut enumeration of
 	// purely existential subtrees).
 	hasBound [][]bool
+	// dead[pid] marks a pattern no caller references any more (SetLive);
+	// its NFA states stay (they are prefix-shared), but candidate
+	// collection for its exclusive prefixes stops. Register revives a
+	// canonically-equal pattern.
+	dead []bool
 }
 
 // NewEngine returns an empty evaluator.
@@ -79,6 +89,7 @@ func (e *Engine) Pattern(id PatternID) *xpath.Pattern { return e.patterns[id] }
 func (e *Engine) Register(p *xpath.Pattern) PatternID {
 	key := p.CanonicalKey()
 	if id, ok := e.byKey[key]; ok {
+		e.SetLive(id, true)
 		return id
 	}
 	id := PatternID(len(e.patterns))
@@ -111,6 +122,7 @@ func (e *Engine) Register(p *xpath.Pattern) PatternID {
 				pid = sn.numPrefix
 				sn.numPrefix++
 				sn.prefixIDs[key] = pid
+				sn.prefixLive = append(sn.prefixLive, 0)
 				cur.accepts = append(cur.accepts, pid)
 			}
 			np[path.NodeIndexes[si]] = pid
@@ -127,7 +139,45 @@ func (e *Engine) Register(p *xpath.Pattern) PatternID {
 		}
 	}
 	e.hasBound = append(e.hasBound, hb)
+	e.dead = append(e.dead, false)
+	for _, pid := range e.distinctPrefixes(id) {
+		sn.prefixLive[pid]++
+	}
 	return id
+}
+
+// distinctPrefixes returns the deduplicated prefix ids of a pattern's nodes.
+func (e *Engine) distinctPrefixes(id PatternID) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, pid := range e.nodePrefix[id] {
+		if !seen[pid] {
+			seen[pid] = true
+			out = append(out, pid)
+		}
+	}
+	return out
+}
+
+// SetLive marks a pattern live or dead. A dead pattern keeps its shared NFA
+// states (rebuilding the automaton would stall ingestion) but stops paying
+// per-document candidate collection for prefixes no live pattern shares;
+// Register revives a canonically-equal pattern. Callers with refcounted
+// pattern registries (internal/core) call SetLive(id, false) when the last
+// reference goes away.
+func (e *Engine) SetLive(id PatternID, live bool) {
+	if e.dead[id] == !live {
+		return
+	}
+	e.dead[id] = !live
+	sn := e.streams[e.patterns[id].Stream]
+	delta := 1
+	if !live {
+		delta = -1
+	}
+	for _, pid := range e.distinctPrefixes(id) {
+		sn.prefixLive[pid] += delta
+	}
 }
 
 // insertStep adds (or reuses) the NFA structure for one location step from
@@ -167,6 +217,7 @@ func (sn *streamNFA) insertStep(cur *nfaState, st xpath.PathStep) *nfaState {
 type MatchResult struct {
 	eng    *Engine
 	stream string
+	sn     *streamNFA
 	doc    *xmldoc.Document
 
 	// candList[prefixID] lists the document nodes matching the prefix, in
@@ -188,6 +239,7 @@ func (e *Engine) MatchDocument(stream string, d *xmldoc.Document) *MatchResult {
 	r := &MatchResult{
 		eng:       e,
 		stream:    stream,
+		sn:        sn,
 		doc:       d,
 		candList:  make([][]xmldoc.NodeID, sn.numPrefix),
 		candSet:   make([]map[xmldoc.NodeID]bool, sn.numPrefix),
@@ -250,6 +302,9 @@ func (r *MatchResult) visit(n xmldoc.NodeID, active []*nfaState) {
 	next = epsClosure(next)
 	for _, s := range next {
 		for _, pid := range s.accepts {
+			if r.sn.prefixLive[pid] == 0 {
+				continue // only unregistered patterns need this prefix
+			}
 			r.candList[pid] = append(r.candList[pid], n)
 			if r.candSet[pid] == nil {
 				r.candSet[pid] = map[xmldoc.NodeID]bool{}

@@ -287,3 +287,46 @@ func TestPropertyManyPatternsOneEngine(t *testing.T) {
 		}
 	}
 }
+
+// TestSetLive checks the pattern-liveness control: a dead pattern stops
+// collecting candidates (so it yields no witnesses), prefixes shared with a
+// live pattern keep collecting for the live one, and a re-Register of a
+// canonically equal pattern revives the dead one.
+func TestSetLive(t *testing.T) {
+	e := NewEngine()
+	// The two patterns share the //book//author path prefix.
+	a := e.Register(xpath.MustParseBlock("S//book->x1[.//author->x2]"))
+	b := e.Register(xpath.MustParseBlock("S//book->y1[.//author->y2][.//title->y3]"))
+	d1 := xmldoc.PaperD1(1, 100)
+
+	wantA := sortedWitnesses(e.MatchDocument("S", d1).Witnesses(a))
+	wantB := sortedWitnesses(e.MatchDocument("S", d1).Witnesses(b))
+	if len(wantA) == 0 || len(wantB) == 0 {
+		t.Fatalf("test premise: both patterns match d1 (%v, %v)", wantA, wantB)
+	}
+
+	e.SetLive(b, false)
+	r := e.MatchDocument("S", d1)
+	if got := r.Witnesses(b); len(got) != 0 {
+		t.Errorf("dead pattern produced witnesses: %v", got)
+	}
+	if got := sortedWitnesses(r.Witnesses(a)); !reflect.DeepEqual(got, wantA) {
+		t.Errorf("live pattern changed by sibling death: %v, want %v", got, wantA)
+	}
+
+	// Re-registering a canonically equal pattern revives it in place.
+	if id := e.Register(xpath.MustParseBlock("S//book->z1[.//author->z2][.//title->z3]")); id != b {
+		t.Fatalf("revived pattern got new id %d, want %d", id, b)
+	}
+	if got := sortedWitnesses(e.MatchDocument("S", d1).Witnesses(b)); !reflect.DeepEqual(got, wantB) {
+		t.Errorf("revived pattern witnesses = %v, want %v", got, wantB)
+	}
+	// Idempotent toggles keep refcounts balanced.
+	e.SetLive(b, true)
+	e.SetLive(b, false)
+	e.SetLive(b, false)
+	e.SetLive(b, true)
+	if got := sortedWitnesses(e.MatchDocument("S", d1).Witnesses(b)); !reflect.DeepEqual(got, wantB) {
+		t.Errorf("witnesses after toggles = %v, want %v", got, wantB)
+	}
+}
