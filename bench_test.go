@@ -9,6 +9,7 @@ package mmqjp
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 	"testing"
 
 	"repro/internal/bench"
@@ -239,6 +240,60 @@ func BenchmarkPipelineSweep(b *testing.B) {
 				b.ReportMetric(batch, "docs/op")
 			})
 		}
+	}
+}
+
+// BenchmarkPublishersSweep measures sustained end-to-end ingest throughput
+// of the continuous async pipeline at increasing concurrent-publisher
+// counts on the multi-template RSS workload — the scaling benchmark of the
+// persistent Stage-1 pool under concurrent admission. One publisher is the
+// serial-admission baseline.
+func BenchmarkPublishersSweep(b *testing.B) {
+	for _, publishers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("publishers=%d", publishers), func(b *testing.B) {
+			c := workload.DefaultRSS()
+			rng := rand.New(rand.NewSource(1))
+			p := core.NewProcessor(core.Config{ViewMaterialization: true})
+			for _, q := range c.Queries(rng, 5000) {
+				p.MustRegister(q)
+			}
+			srng := rand.New(rand.NewSource(3))
+			for _, d := range c.Stream(srng, 500) {
+				p.Process("S", d)
+			}
+			ing := core.NewIngest(p, core.IngestConfig{Depth: 4, Workers: 4})
+			defer ing.Close()
+			const batch = 32
+			next := 500
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				docs := make([]*xmldoc.Document, batch)
+				for j := range docs {
+					docs[j] = c.Item(srng, next)
+					next++
+				}
+				b.StartTimer()
+				var wg sync.WaitGroup
+				for w := 0; w < publishers; w++ {
+					wg.Add(1)
+					go func(w int) {
+						defer wg.Done()
+						for j := w; j < len(docs); j += publishers {
+							if err := ing.Submit("S", docs[j], nil); err != nil {
+								b.Error(err)
+								return
+							}
+						}
+					}(w)
+				}
+				wg.Wait()
+				if err := ing.Flush(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(batch, "docs/op")
+		})
 	}
 }
 

@@ -12,6 +12,10 @@
 //	STATS                        -> OK <engine stats>
 //	QUIT                         -> closes the connection
 //
+// A request line may be at most 1 MB; an over-long line is consumed whole,
+// answered with an ERR, and the connection stays usable (it is not silently
+// dropped).
+//
 // PUBB publishes a batch: the header line is followed by exactly <n> lines
 // (n ≤ 65536), each `<ts> <xml>`, ingested in order through the engine's
 // pipelined batch path (Stage 1 of upcoming documents overlaps Stage-2
@@ -25,6 +29,16 @@
 // relations, view-cache entries). A subscription lives at most as long as
 // its connection: disconnecting unsubscribes all of the connection's
 // queries.
+//
+// With -async, PUB requests are routed through the engine's continuous
+// ingest pipeline (Engine.PublishAsync): the connection handler admits the
+// document and moves on to the next request, so concurrent publishers —
+// and consecutive PUBs on one connection — overlap their documents'
+// Stage-1 work instead of serializing whole publishes. Replies keep the
+// request order per connection (a dedicated replier goroutine acknowledges
+// each PUB with its match count once the document has been processed), and
+// match output is identical to synchronous mode for the same admission
+// order.
 //
 // Matches are delivered asynchronously as
 //
@@ -41,6 +55,7 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"runtime"
@@ -52,12 +67,18 @@ import (
 	mmqjp "repro"
 )
 
+// maxLineBytes bounds a single protocol line. Longer lines are consumed to
+// their end and rejected with an ERR reply, keeping the connection
+// line-synchronized instead of silently dropping it.
+const maxLineBytes = 1 << 20
+
 // server fans concurrent client connections into a shared Engine. The
 // engine itself is safe for concurrent Subscribe/Publish (it serializes
 // writers internally and parallelizes Stage-2 across templates), so the
 // server's own mutex only guards the query-ownership table.
 type server struct {
 	eng     *mmqjp.Engine
+	async   bool // route PUB through the continuous ingest pipeline
 	nextDoc atomic.Int64
 
 	mu sync.Mutex
@@ -68,6 +89,24 @@ type server struct {
 type client struct {
 	conn net.Conn
 	mu   sync.Mutex // serializes writes
+
+	// pending (async mode only) carries this connection's replies to the
+	// replier goroutine in request order: resolved replies for
+	// non-publish requests, and the match channel of each admitted
+	// asynchronous publish, acknowledged when the document has been
+	// processed. Routing every reply through one queue keeps the
+	// per-connection reply order equal to the request order even though
+	// publishes complete asynchronously. replierDone closes once the
+	// replier has drained pending, so serve can flush queued replies
+	// before closing the connection.
+	pending     chan pendingReply
+	replierDone chan struct{}
+}
+
+type pendingReply struct {
+	matches <-chan []mmqjp.Match // nil for an immediate reply
+	line    string               // the reply when matches and eval are nil
+	eval    func() string        // computed at the reply's slot (STATS)
 }
 
 func (c *client) send(line string) {
@@ -76,11 +115,59 @@ func (c *client) send(line string) {
 	fmt.Fprintln(c.conn, line)
 }
 
+// newClient wraps an accepted connection; in async mode it also starts the
+// connection's replier goroutine, which exits when serve closes pending.
+func (s *server) newClient(conn net.Conn) *client {
+	c := &client{conn: conn}
+	if s.async {
+		c.pending = make(chan pendingReply, 256)
+		c.replierDone = make(chan struct{})
+		go func() {
+			defer close(c.replierDone)
+			for p := range c.pending {
+				switch {
+				case p.matches != nil:
+					ms := <-p.matches
+					s.deliver(ms)
+					c.send(fmt.Sprintf("OK %d", len(ms)))
+				case p.eval != nil:
+					c.send(p.eval())
+				default:
+					c.send(p.line)
+				}
+			}
+		}()
+	}
+	return c
+}
+
+// reply answers one request. In async mode the reply is queued behind the
+// connection's in-flight publishes so replies stay in request order.
+func (s *server) reply(c *client, line string) {
+	if c.pending != nil {
+		c.pending <- pendingReply{line: line}
+		return
+	}
+	c.send(line)
+}
+
+// replyEval answers one request with a lazily computed line; in async mode
+// the computation runs at the reply's slot in the queue, after the
+// preceding publishes have been acknowledged.
+func (s *server) replyEval(c *client, eval func() string) {
+	if c.pending != nil {
+		c.pending <- pendingReply{eval: eval}
+		return
+	}
+	c.send(eval())
+}
+
 func main() {
 	addr := flag.String("addr", ":7878", "listen address")
 	viewMat := flag.Bool("viewmat", true, "enable view materialization")
 	workers := flag.Int("workers", runtime.NumCPU(), "Stage-2 worker goroutines per publish (1 = sequential)")
-	pipeline := flag.Int("pipeline", runtime.NumCPU(), "ingest pipeline depth for PUBB batches (1 = sequential)")
+	pipeline := flag.Int("pipeline", runtime.NumCPU(), "ingest pipeline depth for PUBB batches and -async publishes (1 = sequential)")
+	async := flag.Bool("async", false, "route PUB through the continuous async ingest pipeline")
 	flag.Parse()
 
 	kind := mmqjp.ProcessorMMQJP
@@ -89,6 +176,7 @@ func main() {
 	}
 	s := &server{
 		eng:    mmqjp.New(mmqjp.Options{Processor: kind, Parallelism: *workers, PipelineDepth: *pipeline}),
+		async:  *async,
 		owners: map[mmqjp.QueryID]*client{},
 	}
 	ln, err := net.Listen("tcp", *addr)
@@ -102,7 +190,36 @@ func main() {
 			log.Printf("accept: %v", err)
 			continue
 		}
-		go s.serve(&client{conn: conn})
+		go s.serve(s.newClient(conn))
+	}
+}
+
+// readLine reads one newline-terminated line from r, retaining at most max
+// bytes. An over-long line is consumed to its newline and reported via
+// tooLong, so the caller can reject it and keep the connection
+// line-synchronized. A final unterminated line is returned before the
+// subsequent error.
+func readLine(r *bufio.Reader, max int) (line string, tooLong bool, err error) {
+	var sb strings.Builder
+	for {
+		frag, err := r.ReadSlice('\n')
+		if !tooLong && sb.Len()+len(frag) > max {
+			tooLong = true
+		}
+		if !tooLong {
+			sb.Write(frag)
+		}
+		switch err {
+		case nil:
+			return strings.TrimRight(sb.String(), "\r\n"), tooLong, nil
+		case bufio.ErrBufferFull:
+			continue
+		default:
+			if err == io.EOF && (sb.Len() > 0 || tooLong) {
+				return sb.String(), tooLong, nil
+			}
+			return "", tooLong, err
+		}
 	}
 }
 
@@ -113,10 +230,29 @@ func (s *server) serve(c *client) {
 	// connection cannot leak un-removable queries into the engine (UNSUB
 	// rejects every other connection by the ownership rule).
 	defer s.dropClient(c)
-	sc := bufio.NewScanner(c.conn)
-	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
-	for sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
+	if c.pending != nil {
+		// Flush before disconnect: stop the replier and wait for it to
+		// drain the queued replies (the in-flight publishes' match
+		// channels resolve independently of this connection), so a QUIT
+		// does not race the close against pending acknowledgements.
+		// Defers run LIFO: the drain completes before dropClient and the
+		// connection close above.
+		defer func() {
+			close(c.pending)
+			<-c.replierDone
+		}()
+	}
+	rd := bufio.NewReaderSize(c.conn, 64<<10)
+	for {
+		line, tooLong, err := readLine(rd, maxLineBytes)
+		if err != nil {
+			return
+		}
+		if tooLong {
+			s.reply(c, fmt.Sprintf("ERR line exceeds %d bytes", maxLineBytes))
+			continue
+		}
+		line = strings.TrimSpace(line)
 		if line == "" {
 			continue
 		}
@@ -129,13 +265,15 @@ func (s *server) serve(c *client) {
 		case "PUB":
 			s.handlePub(c, rest)
 		case "PUBB":
-			s.handlePubBatch(c, sc, rest)
+			s.handlePubBatch(c, rd, rest)
 		case "STATS":
-			c.send("OK " + s.eng.Stats())
+			// Evaluated at the reply's position in the queue, so an async
+			// STATS reflects the publishes acknowledged before it.
+			s.replyEval(c, func() string { return "OK " + s.eng.Stats() })
 		case "QUIT":
 			return
 		default:
-			c.send("ERR unknown verb " + verb)
+			s.reply(c, "ERR unknown verb "+verb)
 		}
 	}
 }
@@ -153,10 +291,10 @@ func (s *server) handleSub(c *client, src string) {
 	}
 	s.mu.Unlock()
 	if err != nil {
-		c.send("ERR " + err.Error())
+		s.reply(c, "ERR "+err.Error())
 		return
 	}
-	c.send(fmt.Sprintf("OK %d", id))
+	s.reply(c, fmt.Sprintf("OK %d", id))
 }
 
 // handleUnsub removes a subscription owned by the requesting connection.
@@ -166,7 +304,7 @@ func (s *server) handleSub(c *client, src string) {
 func (s *server) handleUnsub(c *client, rest string) {
 	id, err := strconv.ParseInt(strings.TrimSpace(rest), 10, 64)
 	if err != nil {
-		c.send("ERR usage: UNSUB <qid>")
+		s.reply(c, "ERR usage: UNSUB <qid>")
 		return
 	}
 	qid := mmqjp.QueryID(id)
@@ -184,10 +322,10 @@ func (s *server) handleUnsub(c *client, rest string) {
 	}
 	s.mu.Unlock()
 	if err != nil {
-		c.send("ERR " + err.Error())
+		s.reply(c, "ERR "+err.Error())
 		return
 	}
-	c.send(fmt.Sprintf("OK %d", qid))
+	s.reply(c, fmt.Sprintf("OK %d", qid))
 }
 
 // dropClient unsubscribes every query owned by a disconnecting client.
@@ -211,22 +349,35 @@ func (s *server) handlePub(c *client, rest string) {
 	stream, rest, ok1 := cut(rest)
 	tsText, xmlText, ok2 := cut(rest)
 	if !ok1 || !ok2 {
-		c.send("ERR usage: PUB <stream> <ts> <xml>")
+		s.reply(c, "ERR usage: PUB <stream> <ts> <xml>")
 		return
 	}
 	ts, err := strconv.ParseInt(tsText, 10, 64)
 	if err != nil {
-		c.send("ERR bad timestamp: " + err.Error())
+		s.reply(c, "ERR bad timestamp: "+err.Error())
 		return
 	}
 	docID := s.nextDoc.Add(1)
+	if c.pending != nil {
+		// Async mode: parse on the connection handler (concurrent across
+		// connections), admit, and let the replier acknowledge once the
+		// document has been processed. The handler is free to read the
+		// next request while this document's Stage 1 runs.
+		d, err := mmqjp.ParseDocument(xmlText, docID, ts)
+		if err != nil {
+			s.reply(c, "ERR "+err.Error())
+			return
+		}
+		c.pending <- pendingReply{matches: s.eng.PublishAsync(stream, d)}
+		return
+	}
 	matches, err := s.eng.PublishXML(stream, xmlText, docID, ts)
 	if err != nil {
-		c.send("ERR " + err.Error())
+		s.reply(c, "ERR "+err.Error())
 		return
 	}
 	s.deliver(matches)
-	c.send(fmt.Sprintf("OK %d", len(matches)))
+	s.reply(c, fmt.Sprintf("OK %d", len(matches)))
 }
 
 // maxBatchDocs bounds the document count a PUBB header may announce, so a
@@ -237,15 +388,15 @@ const maxBatchDocs = 65536
 
 // handlePubBatch reads the <n> document lines announced by a PUBB header
 // and publishes them through the engine's pipelined batch path.
-func (s *server) handlePubBatch(c *client, sc *bufio.Scanner, rest string) {
+func (s *server) handlePubBatch(c *client, rd *bufio.Reader, rest string) {
 	stream, nText, ok := cut(rest)
 	if !ok || nText == "" {
-		c.send("ERR usage: PUBB <stream> <n>, then n lines of <ts> <xml>")
+		s.reply(c, "ERR usage: PUBB <stream> <n>, then n lines of <ts> <xml>")
 		return
 	}
 	n, err := strconv.Atoi(nText)
 	if err != nil || n < 0 || n > maxBatchDocs {
-		c.send(fmt.Sprintf("ERR bad batch count %s (max %d)", nText, maxBatchDocs))
+		s.reply(c, fmt.Sprintf("ERR bad batch count %s (max %d)", nText, maxBatchDocs))
 		return
 	}
 	events := make([]mmqjp.XMLEvent, 0, n)
@@ -253,11 +404,18 @@ func (s *server) handlePubBatch(c *client, sc *bufio.Scanner, rest string) {
 	for i := 0; i < n; i++ {
 		// Consume every announced line even after an error, so the
 		// connection stays line-synchronized.
-		if !sc.Scan() {
-			c.send("ERR truncated batch")
+		line, tooLong, err := readLine(rd, maxLineBytes)
+		if err != nil {
+			s.reply(c, "ERR truncated batch")
 			return
 		}
-		tsText, xmlText, ok := cut(strings.TrimSpace(sc.Text()))
+		if tooLong {
+			if badLine == "" {
+				badLine = fmt.Sprintf("batch document %d exceeds %d bytes", i+1, maxLineBytes)
+			}
+			continue
+		}
+		tsText, xmlText, ok := cut(strings.TrimSpace(line))
 		ts, perr := strconv.ParseInt(tsText, 10, 64)
 		if !ok || xmlText == "" || perr != nil {
 			if badLine == "" {
@@ -268,12 +426,19 @@ func (s *server) handlePubBatch(c *client, sc *bufio.Scanner, rest string) {
 		events = append(events, mmqjp.XMLEvent{XML: xmlText, DocID: s.nextDoc.Add(1), Timestamp: ts})
 	}
 	if badLine != "" {
-		c.send("ERR " + badLine)
+		s.reply(c, "ERR "+badLine)
 		return
+	}
+	if c.pending != nil {
+		// Async mode: the batch path takes the engine lock directly, so
+		// drain this connection's earlier admitted-but-unconsumed PUB
+		// documents first — otherwise the batch could enter the join
+		// state ahead of them and break per-connection document order.
+		s.eng.Flush()
 	}
 	batches, err := s.eng.PublishXMLBatch(stream, events)
 	if err != nil {
-		c.send("ERR " + err.Error())
+		s.reply(c, "ERR "+err.Error())
 		return
 	}
 	total := 0
@@ -281,7 +446,7 @@ func (s *server) handlePubBatch(c *client, sc *bufio.Scanner, rest string) {
 		total += len(matches)
 		s.deliver(matches)
 	}
-	c.send(fmt.Sprintf("OK %d", total))
+	s.reply(c, fmt.Sprintf("OK %d", total))
 }
 
 // deliver pushes MATCH lines to the connections owning the matched queries.

@@ -16,22 +16,30 @@ import (
 // address.
 func startTestServer(t *testing.T) string {
 	t.Helper()
+	return startTestServerMode(t, false)
+}
+
+// startTestServerMode runs the broker in synchronous or -async mode.
+func startTestServerMode(t *testing.T, async bool) string {
+	t.Helper()
+	eng := mmqjp.New(mmqjp.Options{Processor: mmqjp.ProcessorViewMat, Parallelism: 4, PipelineDepth: 4})
 	s := &server{
-		eng:    mmqjp.New(mmqjp.Options{Processor: mmqjp.ProcessorViewMat, Parallelism: 4, PipelineDepth: 4}),
+		eng:    eng,
+		async:  async,
 		owners: map[mmqjp.QueryID]*client{},
 	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(func() { ln.Close() })
+	t.Cleanup(func() { ln.Close(); eng.Close() })
 	go func() {
 		for {
 			conn, err := ln.Accept()
 			if err != nil {
 				return
 			}
-			go s.serve(&client{conn: conn})
+			go s.serve(s.newClient(conn))
 		}
 	}()
 	return ln.Addr().String()
@@ -194,6 +202,242 @@ func TestServerErrors(t *testing.T) {
 	c.sendLine(t, "STATS")
 	if got := c.readLine(t); !strings.HasPrefix(got, "OK ") {
 		t.Errorf("STATS -> %q", got)
+	}
+}
+
+// TestServerLineTooLong is the satellite bugfix check: a request line over
+// the 1 MB bound is answered with an ERR instead of silently dropping the
+// connection, and the connection stays line-synchronized and usable.
+func TestServerLineTooLong(t *testing.T) {
+	addr := startTestServer(t)
+	c := dialTest(t, addr)
+
+	c.sendLine(t, "SUB S//a->x FOLLOWED BY{x=y, 100} S//b->y")
+	if got := c.readLine(t); got != "OK 0" {
+		t.Fatalf("SUB -> %q", got)
+	}
+	huge := "PUB S 1 <a>" + strings.Repeat("v", maxLineBytes) + "</a>"
+	c.conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
+	if _, err := fmt.Fprintln(c.conn, huge); err != nil {
+		t.Fatal(err)
+	}
+	c.conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	line, err := c.rd.ReadString('\n')
+	if err != nil {
+		t.Fatalf("connection dropped after over-long line: %v", err)
+	}
+	if got := strings.TrimSpace(line); !strings.HasPrefix(got, "ERR") || !strings.Contains(got, "exceeds") {
+		t.Fatalf("over-long line -> %q, want ERR ... exceeds ...", got)
+	}
+	// The connection is still line-synchronized: a normal publish works and
+	// nothing from the rejected line leaked into the join state.
+	c.sendLine(t, "PUB S 2 <a>k</a>")
+	if got := c.readLine(t); got != "OK 0" {
+		t.Fatalf("PUB after over-long line -> %q", got)
+	}
+	c.sendLine(t, "PUB S 3 <b>k</b>")
+	got1, got2 := c.readLine(t), c.readLine(t)
+	if !strings.Contains(got1+"\n"+got2, "OK 1") {
+		t.Errorf("join across the over-long line lost: %q %q", got1, got2)
+	}
+
+	// An over-long document line inside a PUBB batch rejects the batch but
+	// keeps the connection synchronized too.
+	c2 := dialTest(t, addr)
+	c2.sendLine(t, "PUBB S 2")
+	c2.sendLine(t, "1 <a>k</a>")
+	c2.conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
+	if _, err := fmt.Fprintln(c2.conn, "2 <a>"+strings.Repeat("v", maxLineBytes)+"</a>"); err != nil {
+		t.Fatal(err)
+	}
+	c2.conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	line, err = c2.rd.ReadString('\n')
+	if err != nil {
+		t.Fatalf("connection dropped after over-long batch line: %v", err)
+	}
+	if got := strings.TrimSpace(line); !strings.HasPrefix(got, "ERR") {
+		t.Fatalf("over-long batch line -> %q, want ERR", got)
+	}
+	c2.sendLine(t, "STATS")
+	if got := c2.readLine(t); !strings.HasPrefix(got, "OK ") {
+		t.Errorf("STATS after rejected batch -> %q", got)
+	}
+}
+
+// TestServerAsyncPub drives the -async mode: PUB replies arrive in request
+// order with the match counts of the fully processed documents, pipelined
+// PUBs on one connection are all acknowledged, and error replies keep their
+// position in the order.
+func TestServerAsyncPub(t *testing.T) {
+	addr := startTestServerMode(t, true)
+	c := dialTest(t, addr)
+
+	c.sendLine(t, "SUB S//a->x FOLLOWED BY{x=y, 1000} S//b->y")
+	if got := c.readLine(t); got != "OK 0" {
+		t.Fatalf("SUB -> %q", got)
+	}
+	// Pipelined publishes: send everything before reading any reply. The
+	// replier acknowledges in admission order, delivering each MATCH push
+	// before the corresponding OK.
+	c.sendLine(t, "PUB S 1 <a>k</a>")
+	c.sendLine(t, "PUB S 2 <unclosed>")
+	c.sendLine(t, "PUB S 3 <b>k</b>")
+	if got := c.readLine(t); got != "OK 0" {
+		t.Fatalf("first async PUB -> %q", got)
+	}
+	if got := c.readLine(t); !strings.HasPrefix(got, "ERR") {
+		t.Fatalf("bad-xml async PUB -> %q, want ERR in request order", got)
+	}
+	if got := c.readLine(t); !strings.HasPrefix(got, "MATCH 0 left=1@1") {
+		t.Fatalf("missing MATCH push before the ack: %q", got)
+	}
+	if got := c.readLine(t); got != "OK 1" {
+		t.Fatalf("matching async PUB -> %q", got)
+	}
+	// UNSUB still barriers correctly against the pipeline.
+	c.sendLine(t, "UNSUB 0")
+	if got := c.readLine(t); got != "OK 0" {
+		t.Fatalf("UNSUB -> %q", got)
+	}
+	c.sendLine(t, "PUB S 4 <b>k</b>")
+	if got := c.readLine(t); got != "OK 0" {
+		t.Fatalf("PUB after UNSUB -> %q", got)
+	}
+}
+
+// TestServerAsyncPubThenBatch checks per-connection document order across
+// the two ingest paths in async mode: a PUBB must not enter the join state
+// ahead of the connection's earlier async PUB (the server drains the
+// pipeline before the synchronous batch), so the FOLLOWED BY join across
+// the boundary always fires.
+func TestServerAsyncPubThenBatch(t *testing.T) {
+	addr := startTestServerMode(t, true)
+	c := dialTest(t, addr)
+
+	c.sendLine(t, "SUB S//a->x FOLLOWED BY{x=y, 100} S//b->y")
+	if got := c.readLine(t); got != "OK 0" {
+		t.Fatalf("SUB -> %q", got)
+	}
+	c.sendLine(t, "PUB S 1 <a>k</a>")
+	c.sendLine(t, "PUBB S 1")
+	c.sendLine(t, "2 <b>k</b>")
+	var acks []string
+	matched := false
+	for len(acks) < 2 {
+		switch got := c.readLine(t); {
+		case strings.HasPrefix(got, "MATCH 0 left=1@1"):
+			matched = true
+		case strings.HasPrefix(got, "OK "):
+			acks = append(acks, got)
+		default:
+			t.Fatalf("unexpected line %q", got)
+		}
+	}
+	if !matched || acks[0] != "OK 0" || acks[1] != "OK 1" {
+		t.Fatalf("batch overtook the async publish: acks=%q matched=%v (want OK 0, OK 1, with a MATCH)", acks, matched)
+	}
+}
+
+// TestServerAsyncQuitFlushesReplies checks that a QUIT (or disconnect)
+// right behind a burst of async publishes does not lose their replies: the
+// server drains the replier before closing the connection.
+func TestServerAsyncQuitFlushesReplies(t *testing.T) {
+	addr := startTestServerMode(t, true)
+	conn, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	fmt.Fprintf(conn, "SUB S//a->x JOIN{x=y, 100} S//b->y\nPUB S 1 <a>v</a>\nPUB S 2 <b>v</b>\nQUIT\n")
+	var lines []string
+	rd := bufio.NewReader(conn)
+	for {
+		conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+		line, err := rd.ReadString('\n')
+		if err != nil {
+			break // connection closed by the server after the flush
+		}
+		lines = append(lines, strings.TrimSpace(line))
+	}
+	want := []string{"OK 0", "OK 0", "MATCH 0 left=1@1 right=2@2", "OK 1"}
+	if len(lines) != len(want) {
+		t.Fatalf("QUIT lost replies: got %q, want %q", lines, want)
+	}
+	for i := range want {
+		if lines[i] != want[i] {
+			t.Errorf("reply %d = %q, want %q", i, lines[i], want[i])
+		}
+	}
+}
+
+// TestServerAsyncConcurrentClients hammers the async server from many
+// connections at once (the CI race job runs this under -race): every PUB
+// must be acknowledged in per-connection request order and the private
+// streams must keep matching.
+func TestServerAsyncConcurrentClients(t *testing.T) {
+	addr := startTestServerMode(t, true)
+
+	const clients = 5
+	const pubs = 16
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			conn, err := net.DialTimeout("tcp", addr, 2*time.Second)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer conn.Close()
+			rd := bufio.NewReader(conn)
+			readLine := func() (string, error) {
+				conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+				line, err := rd.ReadString('\n')
+				return strings.TrimSpace(line), err
+			}
+			stream := fmt.Sprintf("S%d", i)
+			fmt.Fprintf(conn, "SUB %s//a->x JOIN{x=y, 1000000} %s//b->y\n", stream, stream)
+			if resp, err := readLine(); err != nil || !strings.HasPrefix(resp, "OK ") {
+				errs <- fmt.Errorf("client %d: SUB -> %q, %v", i, resp, err)
+				return
+			}
+			// Fire every publish before reading a single reply, then count
+			// acks and matches.
+			for p := 0; p < pubs; p++ {
+				xml := "<a>k</a>"
+				if p%2 == 1 {
+					xml = "<b>k</b>"
+				}
+				fmt.Fprintf(conn, "PUB %s %d %s\n", stream, p+1, xml)
+			}
+			acks, matched := 0, 0
+			for acks < pubs {
+				resp, err := readLine()
+				if err != nil {
+					errs <- fmt.Errorf("client %d: after %d acks: %v", i, acks, err)
+					return
+				}
+				switch {
+				case strings.HasPrefix(resp, "MATCH "):
+					matched++
+				case strings.HasPrefix(resp, "OK "):
+					acks++
+				default:
+					errs <- fmt.Errorf("client %d: unexpected reply %q", i, resp)
+					return
+				}
+			}
+			if matched == 0 {
+				errs <- fmt.Errorf("client %d: no matches delivered", i)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
 	}
 }
 

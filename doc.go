@@ -32,7 +32,11 @@
 // Options.PipelineDepth is set: Stage 1 of up to PipelineDepth upcoming
 // documents runs ahead in workers while Stage 2, the state merge, and
 // window GC are applied strictly in arrival order, so batch output is
-// identical to per-document Publish for every depth.
+// identical to per-document Publish for every depth. PublishAsync extends
+// the same overlap to concurrent publishers through a persistent ingest
+// pipeline with bounded admission: matches are delivered on a per-document
+// channel in admission order, byte-identical to serial Publish of that
+// order, and Flush/Close drain the pipeline.
 //
 // Subscriptions have a full lifecycle: Unsubscribe removes a query and
 // reclaims everything it no longer shares with the survivors — canonical

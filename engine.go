@@ -1,6 +1,7 @@
 package mmqjp
 
 import (
+	"encoding/xml"
 	"fmt"
 	"strings"
 	"sync"
@@ -84,12 +85,21 @@ type Match struct {
 // concurrent use: Subscribe, Unsubscribe and Publish serialize against each
 // other (documents enter the join state one at a time — parallelism lives
 // inside a Publish, across query templates; see Options.Parallelism), while
-// read-only accessors only exclude writers.
+// read-only accessors only exclude writers. PublishAsync additionally
+// overlaps the document-local Stage-1 work of concurrently admitted
+// documents through a persistent ingest pipeline (see PublishAsync).
 type Engine struct {
 	mu   sync.RWMutex
 	opts Options
 	proc *core.Processor       // nil when Sequential
 	seq  *sequential.Processor // nil otherwise
+
+	// ingestMu guards the lazily started continuous ingest pipeline. It is
+	// also held across direct (pipeline-less) Subscribe/Unsubscribe calls,
+	// so the pipeline cannot spin up — and start Stage-1 workers that read
+	// the registration structures — in the middle of a registration.
+	ingestMu sync.Mutex
+	ing      *core.Ingest
 
 	// queries is indexed by QueryID; Unsubscribe leaves a nil slot so ids
 	// stay stable across churn. numQueries counts live subscriptions.
@@ -126,15 +136,44 @@ func New(opts Options) *Engine {
 	return e
 }
 
-// Subscribe parses and registers an XSCL query, returning its id.
+// Subscribe parses and registers an XSCL query, returning its id. While the
+// continuous ingest pipeline is live (see PublishAsync), registration runs
+// at a pipeline barrier: every document admitted before the Subscribe is
+// fully processed first, and no later document starts Stage 1 until the
+// registration completes — so a subscription's position in the admission
+// order is exact, at the cost of one pipeline drain.
 func (e *Engine) Subscribe(src string) (QueryID, error) {
 	q, err := xscl.Parse(src)
 	if err != nil {
 		return 0, err
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.subscribe(q)
+	e.ingestMu.Lock()
+	ing := e.ing
+	if ing == nil {
+		// No pipeline: register directly. ingestMu is held across the
+		// registration so a concurrent first PublishAsync cannot start
+		// Stage-1 workers mid-registration.
+		defer e.ingestMu.Unlock()
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		return e.subscribe(q)
+	}
+	e.ingestMu.Unlock()
+	var id QueryID
+	var serr error
+	if berr := ing.Barrier(func() {
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		id, serr = e.subscribe(q)
+	}); berr != nil {
+		// The pipeline was closed concurrently; wait for its drain so no
+		// Stage-1 work is in flight, then register directly.
+		ing.Wait()
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		return e.subscribe(q)
+	}
+	return id, serr
 }
 
 // MustSubscribe is Subscribe, panicking on error (examples, tests).
@@ -176,8 +215,27 @@ func (e *Engine) subscribe(q *xscl.Query) (QueryID, error) {
 // further derived documents, while an unsubscribed downstream query stops
 // receiving cascaded matches — Unsubscribe serializes with Publish, so a
 // cascade is never torn mid-document. Returns an error for an unknown or
-// already-unsubscribed id.
+// already-unsubscribed id. Like Subscribe, Unsubscribe runs at a pipeline
+// barrier while the continuous ingest pipeline is live: documents admitted
+// before it keep their matches, documents admitted after it see the query
+// gone.
 func (e *Engine) Unsubscribe(id QueryID) error {
+	e.ingestMu.Lock()
+	ing := e.ing
+	if ing == nil {
+		defer e.ingestMu.Unlock()
+		return e.unsubscribe(id)
+	}
+	e.ingestMu.Unlock()
+	var err error
+	if berr := ing.Barrier(func() { err = e.unsubscribe(id) }); berr != nil {
+		ing.Wait()
+		return e.unsubscribe(id)
+	}
+	return err
+}
+
+func (e *Engine) unsubscribe(id QueryID) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if id < 0 || int(id) >= len(e.queries) || e.queries[id] == nil {
@@ -259,17 +317,25 @@ func (e *Engine) publish(stream string, d *Document, depth int) []Match {
 			})
 		}
 	} else {
-		for _, m := range e.proc.Process(stream, d) {
-			out = append(out, Match{
-				Query:   QueryID(m.Query),
-				Publish: e.queries[m.Query].Publish,
-				LeftDoc: int64(m.LeftDoc), RightDoc: int64(m.RightDoc),
-				LeftTS: int64(m.LeftTS), RightTS: int64(m.RightTS),
-				leftRoot: m.LeftRoot, rightRoot: m.RightRoot,
-			})
-		}
+		out = e.convertMatches(e.proc.Process(stream, d))
 	}
 	return e.cascade(out, depth)
+}
+
+// convertMatches lifts core matches into the public Match type, resolving
+// each query's PUBLISH stream. Callers must hold e.mu (it reads e.queries).
+func (e *Engine) convertMatches(cms []core.Match) []Match {
+	var out []Match
+	for _, m := range cms {
+		out = append(out, Match{
+			Query:   QueryID(m.Query),
+			Publish: e.queries[m.Query].Publish,
+			LeftDoc: int64(m.LeftDoc), RightDoc: int64(m.RightDoc),
+			LeftTS: int64(m.LeftTS), RightTS: int64(m.RightTS),
+			leftRoot: m.LeftRoot, rightRoot: m.RightRoot,
+		})
+	}
+	return out
 }
 
 // cascade republishes each PUBLISH match of out as a derived document and
@@ -320,23 +386,100 @@ func (e *Engine) PublishBatch(stream string, docs []*Document) [][]Match {
 		}
 	}
 	e.proc.ProcessBatchFunc(stream, docs, func(i int, cms []core.Match) {
-		var ms []Match
-		for _, m := range cms {
-			ms = append(ms, Match{
-				Query:   QueryID(m.Query),
-				Publish: e.queries[m.Query].Publish,
-				LeftDoc: int64(m.LeftDoc), RightDoc: int64(m.RightDoc),
-				LeftTS: int64(m.LeftTS), RightTS: int64(m.RightTS),
-				leftRoot: m.LeftRoot, rightRoot: m.RightRoot,
-			})
-		}
 		// Composition cascades run here, between batch documents, at the
 		// same point the per-document Publish path would run them; the
 		// derived documents' Process calls are safe alongside the
 		// pipeline's Stage-1 workers, which never touch the join state.
-		out[i] = e.cascade(ms, 0)
+		out[i] = e.cascade(e.convertMatches(cms), 0)
 	})
 	return out
+}
+
+// PublishAsync admits a document into the engine's continuous ingest
+// pipeline and returns a buffered channel that receives the document's
+// matches (exactly one send, then a close) once it has been fully
+// processed. Admission order — the order concurrent PublishAsync calls are
+// admitted — is the serial document order: per-document match output is
+// byte-identical to calling Publish in that order, for every
+// Parallelism/PipelineDepth setting. Unlike Publish, concurrent publishers
+// do not serialize the whole call: the document-local Stage-1 work (NFA
+// match, witness construction) of up to PipelineDepth+1 admitted documents
+// runs concurrently in a persistent worker pool while Stage 2, the state
+// merge and window GC are applied strictly in admission order, under the
+// same lock a serial Publish holds. PublishAsync blocks while the pipeline
+// is at its admission bound (backpressure).
+//
+// The pipeline starts lazily on the first call and runs until Close.
+// Composition cascades fire before delivery, exactly as in Publish, and the
+// derived matches are included in the delivered slice. With
+// ProcessorSequential (no Stage-1/Stage-2 split), or after Close, the
+// document is published synchronously and the channel is already resolved
+// on return.
+func (e *Engine) PublishAsync(stream string, d *Document) <-chan []Match {
+	out := make(chan []Match, 1)
+	if e.proc == nil {
+		out <- e.Publish(stream, d)
+		close(out)
+		return out
+	}
+	err := e.ingestPipeline().Submit(stream, d, func(cms []core.Match) {
+		// Runs on the pipeline coordinator under e.mu (write), in
+		// admission order — the same critical section a serial Publish
+		// holds for this document.
+		if e.opts.RetainDocuments {
+			e.docs[d.ID] = d
+		}
+		out <- e.cascade(e.convertMatches(cms), 0)
+		close(out)
+	})
+	if err != nil {
+		// The pipeline was closed: degrade to a synchronous publish.
+		out <- e.Publish(stream, d)
+		close(out)
+	}
+	return out
+}
+
+// ingestPipeline returns the continuous ingest pipeline, starting it on
+// first use. The engine's writer lock is the pipeline's consume lock, so
+// asynchronous consumption excludes readers and synchronous writers exactly
+// like a serial Publish.
+func (e *Engine) ingestPipeline() *core.Ingest {
+	e.ingestMu.Lock()
+	defer e.ingestMu.Unlock()
+	if e.ing == nil {
+		e.ing = core.NewIngest(e.proc, core.IngestConfig{Depth: e.opts.PipelineDepth, Lock: &e.mu})
+	}
+	return e.ing
+}
+
+// Flush blocks until every document admitted by PublishAsync before the
+// call has been fully processed and its matches delivered. It is a no-op
+// when the pipeline has never started or is closed.
+func (e *Engine) Flush() {
+	e.ingestMu.Lock()
+	ing := e.ing
+	e.ingestMu.Unlock()
+	if ing == nil {
+		return
+	}
+	if err := ing.Flush(); err != nil {
+		ing.Wait()
+	}
+}
+
+// Close drains and permanently stops the continuous ingest pipeline:
+// documents already admitted are fully processed and delivered first.
+// Every other engine method keeps working — PublishAsync itself degrades to
+// synchronous per-call delivery. Close is idempotent, and a no-op when
+// PublishAsync was never used.
+func (e *Engine) Close() {
+	e.ingestMu.Lock()
+	ing := e.ing
+	e.ingestMu.Unlock()
+	if ing != nil {
+		ing.Close()
+	}
 }
 
 // XMLEvent is one document of a PublishXMLBatch: the raw XML text plus the
@@ -496,10 +639,18 @@ func subtreeXML(d *xmldoc.Document, id xmldoc.NodeID) string {
 	return sb.String()
 }
 
+// writeSubtree emits well-formed XML: text and attribute values are
+// XML-escaped (xml.EscapeText escapes the quote characters too, so it is
+// safe inside double-quoted attribute values) — a value like the paper's
+// "Scripting &amp; Programming" must round-trip through an XML parser.
 func writeSubtree(sb *strings.Builder, d *xmldoc.Document, id xmldoc.NodeID) {
 	n := d.Node(id)
 	if n.Kind == xmldoc.AttributeNode {
-		fmt.Fprintf(sb, "<attr name=%q>%s</attr>", n.Name, d.StringValue(id))
+		sb.WriteString(`<attr name="`)
+		xmlEscape(sb, n.Name)
+		sb.WriteString(`">`)
+		xmlEscape(sb, d.StringValue(id))
+		sb.WriteString("</attr>")
 		return
 	}
 	sb.WriteByte('<')
@@ -507,12 +658,16 @@ func writeSubtree(sb *strings.Builder, d *xmldoc.Document, id xmldoc.NodeID) {
 	for _, c := range n.Children {
 		cn := d.Node(c)
 		if cn.Kind == xmldoc.AttributeNode {
-			fmt.Fprintf(sb, " %s=%q", cn.Name, d.StringValue(c))
+			sb.WriteByte(' ')
+			sb.WriteString(cn.Name)
+			sb.WriteString(`="`)
+			xmlEscape(sb, d.StringValue(c))
+			sb.WriteByte('"')
 		}
 	}
 	sb.WriteByte('>')
 	if d.IsLeaf(id) {
-		sb.WriteString(d.StringValue(id))
+		xmlEscape(sb, d.StringValue(id))
 	}
 	for _, c := range n.Children {
 		if d.Node(c).Kind == xmldoc.ElementNode {
@@ -522,4 +677,10 @@ func writeSubtree(sb *strings.Builder, d *xmldoc.Document, id xmldoc.NodeID) {
 	sb.WriteString("</")
 	sb.WriteString(n.Name)
 	sb.WriteByte('>')
+}
+
+// xmlEscape writes s XML-escaped. strings.Builder never returns a write
+// error, so neither can xml.EscapeText.
+func xmlEscape(sb *strings.Builder, s string) {
+	_ = xml.EscapeText(sb, []byte(s))
 }

@@ -11,6 +11,7 @@ import (
 	"math/rand"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/core"
@@ -106,6 +107,11 @@ type Options struct {
 	// are unsubscribed and as many fresh ones subscribed (default
 	// 0,8,64; 0 = the churn-free baseline).
 	ChurnCounts []int
+	// PublisherCounts is the concurrent-publisher sweep of the
+	// "publishers" experiment (not a paper figure: it measures the
+	// continuous async ingest pipeline under concurrent admission,
+	// default 1,2,4,8).
+	PublisherCounts []int
 }
 
 // Defaults fills zero fields.
@@ -139,6 +145,9 @@ func (o Options) Defaults() Options {
 	}
 	if len(o.ChurnCounts) == 0 {
 		o.ChurnCounts = []int{0, 8, 64}
+	}
+	if len(o.PublisherCounts) == 0 {
+		o.PublisherCounts = []int{1, 2, 4, 8}
 	}
 	return o
 }
@@ -530,6 +539,56 @@ func churnRun(c workload.RSS, stream []*xmldoc.Document, o Options, mode Mode, k
 	return perSecond(len(stream), elapsed), perSecond(churnOps, elapsed), p.NumTemplates()
 }
 
+// PublishersSweep — not a paper figure: sustained end-to-end ingest
+// throughput versus the number of concurrent publisher goroutines feeding
+// the continuous async ingest pipeline (core.Ingest) on the multi-template
+// RSS workload. One publisher is the serial-admission baseline; more
+// publishers contend on admission while the pipeline overlaps their
+// documents' Stage-1 work ahead of the in-order Stage-2 consumption.
+func PublishersSweep(o Options) Result {
+	o = o.Defaults()
+	c := workload.DefaultRSS()
+	rng := rand.New(rand.NewSource(o.Seed))
+	qs := c.Queries(rng, o.Queries)
+	srng := rand.New(rand.NewSource(o.Seed + 7))
+	stream := c.Stream(srng, o.RSSItems)
+	res := Result{ID: "publishers",
+		Title:   fmt.Sprintf("continuous ingest throughput vs concurrent publishers (%d queries, %d items)", o.Queries, len(stream)),
+		Columns: []string{"publishers", "MMQJP (docs/s)", "MMQJP+ViewMat (docs/s)", "templates"}}
+	for _, np := range o.PublisherCounts {
+		basic, ntmpl := publisherThroughput(qs, stream, ModeMMQJP, np)
+		vm, _ := publisherThroughput(qs, stream, ModeViewMat, np)
+		res.Rows = append(res.Rows, []string{fmt.Sprint(np), f(basic), f(vm), fmt.Sprint(ntmpl)})
+	}
+	return res
+}
+
+// publisherThroughput returns end-to-end documents/second of the stream
+// pushed through a continuous ingest pipeline by the given number of
+// concurrent publisher goroutines (round-robin split), plus the template
+// count. The clock stops after Close, which drains the pipeline.
+func publisherThroughput(qs []*xscl.Query, stream []*xmldoc.Document, mode Mode, publishers int) (float64, int) {
+	p := core.NewProcessor(core.Config{ViewMaterialization: mode == ModeViewMat})
+	for _, q := range qs {
+		p.MustRegister(q)
+	}
+	ing := core.NewIngest(p, core.IngestConfig{Depth: 4, Workers: 4})
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < publishers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(stream); i += publishers {
+				_ = ing.Submit("S", stream[i], nil)
+			}
+		}(w)
+	}
+	wg.Wait()
+	ing.Close()
+	return perSecond(len(stream), time.Since(start)), p.NumTemplates()
+}
+
 // Table3 — number of query templates vs number of value joins, for the flat
 // and the complex (three-level) schema, computed by exact enumeration.
 //
@@ -709,7 +768,7 @@ func sideComplex(part []int, pfx string) string {
 // All returns every experiment id: the paper's tables and figures in paper
 // order, then the repo's own scaling experiments.
 func All() []string {
-	return []string{"table3", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "workers", "pipeline", "churn"}
+	return []string{"table3", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "workers", "pipeline", "churn", "publishers"}
 }
 
 // Run executes one experiment by id.
@@ -741,6 +800,8 @@ func Run(id string, o Options) (Result, error) {
 		return PipelineSweep(o), nil
 	case "churn":
 		return ChurnSweep(o), nil
+	case "publishers":
+		return PublishersSweep(o), nil
 	default:
 		return Result{}, fmt.Errorf("bench: unknown experiment %q (have %v)", id, All())
 	}

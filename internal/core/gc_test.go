@@ -55,6 +55,62 @@ func TestShouldGCExpiredPrefix(t *testing.T) {
 	}
 }
 
+// TestShouldGCOutOfOrderTimestamps is the starvation regression test: a
+// single early document with a far-future timestamp (clock skew) keeps the
+// expired prefix empty forever, but the periodic full scan must still
+// trigger GC once enough non-prefix documents have expired — previously the
+// trigger starved and expired state accumulated unboundedly.
+func TestShouldGCOutOfOrderTimestamps(t *testing.T) {
+	noSeq := int64(math.MaxInt64)
+	s := NewState()
+	mergeDoc(s, 1, 1_000_000, "skew") // prefix head that never expires
+	for i := int64(2); i <= 80; i++ {
+		mergeDoc(s, i, i, fmt.Sprintf("s%d", i))
+	}
+	// Cutoff 100 expires docs 2..80 (79 ≥ gcBatchMin) but not the head.
+	fired := false
+	for call := 0; call < gcFullScanEvery+1; call++ {
+		if s.shouldGC(100, noSeq) {
+			fired = true
+			break
+		}
+	}
+	if !fired {
+		t.Fatalf("shouldGC never fired within %d calls with %d non-prefix expired documents",
+			gcFullScanEvery+1, 79)
+	}
+	if got := len(s.GC(100, noSeq)); got != 79 {
+		t.Errorf("GC reclaimed %d documents, want 79", got)
+	}
+	if s.NumDocs() != 1 {
+		t.Errorf("NumDocs = %d after GC, want 1 (the skewed head)", s.NumDocs())
+	}
+}
+
+// TestGCOutOfOrderProcessor drives the starvation scenario end-to-end: a
+// skewed first document followed by a long normally-timestamped stream must
+// not pin the whole stream in the join state.
+func TestGCOutOfOrderProcessor(t *testing.T) {
+	p := NewProcessor(Config{ViewMaterialization: true})
+	p.MustRegister(xscl.MustParse(
+		"S//a->r1[.//x->v] JOIN{v=w, 10} S//b->r2[.//y->w]"))
+	doc := func(id, ts int64) *xmldoc.Document {
+		b := xmldoc.NewBuilder(xmldoc.DocID(id), xmldoc.Timestamp(ts), "a")
+		b.Element(0, "x", fmt.Sprintf("k%d", id%7))
+		return b.Build()
+	}
+	p.Process("S", doc(1, 1_000_000)) // clock-skewed head
+	const n = 300
+	for i := int64(2); i <= n; i++ {
+		p.Process("S", doc(i, i))
+	}
+	// Window 10: all but the head and the last ~10 documents are expired.
+	// Without the periodic full scan the state would hold all n documents.
+	if got := p.State().NumDocs(); got > 1+10+gcFullScanEvery+gcBatchMin {
+		t.Errorf("join state holds %d documents after %d publishes (window 10): GC starved", got, n)
+	}
+}
+
 // TestGCReturnsExpiredSet checks GC's return value: exactly the reclaimed
 // documents, empty when nothing expires.
 func TestGCReturnsExpiredSet(t *testing.T) {

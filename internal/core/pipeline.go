@@ -10,9 +10,12 @@ import (
 // merge, Stage-2 evaluation against the join state, and window GC are
 // order-sensitive. ProcessBatch exploits this by running Stage 1 for up to
 // Config.PipelineDepth upcoming documents in worker goroutines while the
-// coordinator consumes completed witnesses strictly in arrival order
-// (consumeStage1), so matches, join state, and window semantics are
-// byte-identical to processing the documents one Process call at a time.
+// coordinator consumes completed witnesses strictly in arrival order, so
+// matches, join state, and window semantics are byte-identical to processing
+// the documents one Process call at a time. The machinery is the continuous
+// ingest pipeline (ingest.go) run batch-scoped: admission order is the
+// batch's document order, and Close both drains and bounds the goroutines'
+// lifetime to the call.
 
 // ProcessBatch processes docs on stream in arrival order and returns the
 // matches of each document, exactly as len(docs) consecutive Process calls
@@ -25,12 +28,12 @@ func (p *Processor) ProcessBatch(stream string, docs []*xmldoc.Document) [][]Mat
 }
 
 // ProcessBatchFunc is ProcessBatch with per-document delivery: deliver is
-// called on the coordinator goroutine, in arrival order, after document i's
-// Stage 2, state merge, and GC have completed. The engine facade uses the
-// callback to cascade composition publishes between batch documents at the
-// same point the sequential path would. deliver may itself call Process
-// (for derived documents) but must not call Register, Unregister or
-// ProcessBatch.
+// called on the pipeline coordinator, in arrival order, after document i's
+// Stage 2, state merge, and GC have completed — the call returns only once
+// every document has been delivered. The engine facade uses the callback to
+// cascade composition publishes between batch documents at the same point
+// the sequential path would. deliver may itself call Process (for derived
+// documents) but must not call Register, Unregister or ProcessBatch.
 func (p *Processor) ProcessBatchFunc(stream string, docs []*xmldoc.Document, deliver func(i int, matches []Match)) {
 	depth := p.cfg.PipelineDepth
 	if depth <= 1 || len(docs) <= 1 {
@@ -39,39 +42,17 @@ func (p *Processor) ProcessBatchFunc(stream string, docs []*xmldoc.Document, del
 		}
 		return
 	}
-
-	// Bounded lookahead: a document's Stage 1 may start only while fewer
-	// than depth documents are admitted but not yet consumed; the
-	// coordinator releases a slot after consuming each document, so the
-	// pipeline never runs more than depth documents ahead of the
-	// order-sensitive tail.
-	results := make([]chan *stage1Result, len(docs))
-	for i := range results {
-		results[i] = make(chan *stage1Result, 1)
-	}
-	sem := make(chan struct{}, depth)
-	jobs := make(chan int)
-	go func() {
-		for i := range docs {
-			sem <- struct{}{}
-			jobs <- i
-		}
-		close(jobs)
-	}()
 	workers := depth
 	if workers > len(docs) {
 		workers = len(docs)
 	}
-	for w := 0; w < workers; w++ {
-		go func() {
-			for i := range jobs {
-				results[i] <- p.runStage1(stream, docs[i])
-			}
-		}()
+	ing := NewIngest(p, IngestConfig{Depth: depth, Workers: workers})
+	for i, d := range docs {
+		i := i
+		// Submit blocks at the admission bound, so the batch never runs
+		// more than depth+1 documents ahead of the order-sensitive tail;
+		// it cannot fail on a pipeline private to this call.
+		_ = ing.Submit(stream, d, func(ms []Match) { deliver(i, ms) })
 	}
-	for i := range docs {
-		r := <-results[i]
-		deliver(i, p.consumeStage1(r))
-		<-sem
-	}
+	ing.Close()
 }

@@ -60,6 +60,10 @@ type State struct {
 
 	// docs retains full documents for output construction when enabled.
 	docs map[xmldoc.DocID]*xmldoc.Document
+
+	// gcStale counts consecutive negative shouldGC prefix verdicts since
+	// the last full expiry scan (see gcFullScanEvery).
+	gcStale int
 }
 
 type binKey struct {
@@ -249,14 +253,25 @@ func (s *State) GC(cutoffTS xmldoc.Timestamp, cutoffSeq int64) map[xmldoc.DocID]
 // state rebuild regardless of the live fraction.
 const gcBatchMin = 32
 
+// gcFullScanEvery bounds trigger starvation under out-of-order timestamps:
+// the cheap per-publish check scans only the expired prefix of docIDs, so a
+// single early document with a far-future timestamp (clock skew) would
+// otherwise hide an unbounded number of expired successors from the trigger
+// forever. Every gcFullScanEvery consecutive negative prefix verdicts, the
+// check pays one full scan — amortized O(len/gcFullScanEvery) per publish —
+// so non-prefix expiry is still collected (GC itself already removes any
+// expired document, prefix or not).
+const gcFullScanEvery = 64
+
 // shouldGC reports whether enough documents have expired to make rebuilding
 // the join state worthwhile. A document is expired when its timestamp is
 // below cutoffTS AND its arrival index is below cutoffSeq (pass the maximum
-// value for a dimension with no active windows). Documents arrive in
-// timestamp order, so expired documents form a prefix of docIDs: the scan
-// stops at the first live document (and at gcBatchMin, when the verdict is
-// already decided), so this per-publish check is O(min(expired, gcBatchMin)),
-// never O(total documents).
+// value for a dimension with no active windows). Documents normally arrive
+// in timestamp order, so expired documents form a prefix of docIDs: the
+// scan stops at the first live document (and at gcBatchMin, when the
+// verdict is already decided), so this per-publish check is
+// O(min(expired, gcBatchMin)) — except for the periodic full scan that
+// guards against out-of-order arrivals (gcFullScanEvery).
 func (s *State) shouldGC(cutoffTS xmldoc.Timestamp, cutoffSeq int64) bool {
 	expired := 0
 	for _, id := range s.docIDs {
@@ -265,10 +280,28 @@ func (s *State) shouldGC(cutoffTS xmldoc.Timestamp, cutoffSeq int64) bool {
 		}
 		expired++
 		if expired >= gcBatchMin {
+			s.gcStale = 0
 			return true
 		}
 	}
-	return expired > 0 && 2*expired >= len(s.docIDs)
+	if expired > 0 && 2*expired >= len(s.docIDs) {
+		s.gcStale = 0
+		return true
+	}
+	if s.gcStale++; s.gcStale < gcFullScanEvery {
+		return false
+	}
+	s.gcStale = 0
+	total := 0
+	for _, id := range s.docIDs {
+		if s.RdocTS[id] < cutoffTS && s.seq[id] < cutoffSeq {
+			total++
+			if total >= gcBatchMin {
+				return true
+			}
+		}
+	}
+	return total > 0 && 2*total >= len(s.docIDs)
 }
 
 // Doc returns a retained document, or nil.

@@ -269,7 +269,14 @@ func (d *Document) writeNode(sb *strings.Builder, id NodeID) {
 	for _, c := range n.Children {
 		cn := &d.Nodes[c]
 		if cn.Kind == AttributeNode {
-			fmt.Fprintf(sb, " %s=%q", cn.Name, cn.text)
+			// XML-escaped, not Go-quoted: xml.EscapeText escapes the
+			// quote characters too, so the value is safe inside a
+			// double-quoted attribute.
+			sb.WriteByte(' ')
+			sb.WriteString(cn.Name)
+			sb.WriteString(`="`)
+			xml.EscapeText(sb, []byte(cn.text))
+			sb.WriteByte('"')
 		}
 	}
 	sb.WriteByte('>')

@@ -86,6 +86,32 @@ func TestParseRoundTrip(t *testing.T) {
 	}
 }
 
+// TestXMLTextEscapesSpecialValues pins the serializer's escaping: text and
+// attribute values containing &, <, > and " must survive an
+// XMLText → Parse round trip (attributes were previously Go-quoted, which
+// is not XML escaping).
+func TestXMLTextEscapesSpecialValues(t *testing.T) {
+	b := NewBuilder(1, 1, "book")
+	b.Attribute(0, "id", `a&b "quoted" <tag>`)
+	b.Element(0, "title", "Scripting & Programming")
+	b.Element(0, "note", `1 < 2 && 3 > 2`)
+	d := b.Build()
+
+	rt, err := ParseString(d.XMLText(), 2, 2)
+	if err != nil {
+		t.Fatalf("XMLText did not round-trip: %v\noutput: %s", err, d.XMLText())
+	}
+	if got := rt.StringValue(1); rt.Node(1).Kind != AttributeNode || got != `a&b "quoted" <tag>` {
+		t.Errorf("attribute round-trip = %q (%+v)", got, rt.Node(1))
+	}
+	if ids := rt.ElementsByName("title"); len(ids) != 1 || rt.StringValue(ids[0]) != "Scripting & Programming" {
+		t.Errorf("title round-trip = %v", ids)
+	}
+	if ids := rt.ElementsByName("note"); len(ids) != 1 || rt.StringValue(ids[0]) != "1 < 2 && 3 > 2" {
+		t.Errorf("note round-trip = %v", ids)
+	}
+}
+
 func TestParseIgnoresIndentationWhitespace(t *testing.T) {
 	src := "<r>\n  <a>x</a>\n  <b>y</b>\n</r>"
 	d, err := ParseString(src, 1, 0)
