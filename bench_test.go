@@ -389,3 +389,55 @@ func BenchmarkViewCacheAblation(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkPlanningSweep measures steady-state throughput of the three
+// plan modes (forced witness, forced RT-driven, adaptive PlanAuto with
+// exploration) on the two opposed planning workloads of the "planning"
+// experiment: the witness-favoring RSS stream and the RT-favoring
+// colliding two-level stream.
+func BenchmarkPlanningSweep(b *testing.B) {
+	rssc := workload.DefaultRSS()
+	rssQueries := rssc.Queries(rand.New(rand.NewSource(1)), 300)
+	rssStream := rssc.Stream(rand.New(rand.NewSource(8)), 300)
+
+	tl := workload.TwoLevel{N: 4, Theta: 0.8, Window: 12}
+	tlQueries := tl.Queries(rand.New(rand.NewSource(1)), 300)
+	colliding := bench.CollidingStream(tl.N, 60)
+
+	workloads := []struct {
+		name   string
+		qs     []*xscl.Query
+		stream []*xmldoc.Document
+	}{
+		{"rss", rssQueries, rssStream},
+		{"colliding", tlQueries, colliding},
+	}
+	plans := []struct {
+		name    string
+		plan    core.PlanKind
+		explore int
+	}{
+		{"witness", core.PlanWitness, 0},
+		{"rt", core.PlanRTDriven, 0},
+		{"auto", core.PlanAuto, 64},
+	}
+	for _, wl := range workloads {
+		for _, pl := range plans {
+			b.Run(wl.name+"/"+pl.name, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					p := core.NewProcessor(core.Config{
+						ViewMaterialization: true, Plan: pl.plan,
+						PlanExploreEvery: pl.explore, PlanExploreSeed: 1,
+					})
+					for _, q := range wl.qs {
+						p.MustRegister(q)
+					}
+					for _, d := range wl.stream {
+						p.Process("S", d)
+					}
+				}
+				b.ReportMetric(float64(len(wl.stream)), "docs/op")
+			})
+		}
+	}
+}

@@ -40,6 +40,11 @@
 // match output is identical to synchronous mode for the same admission
 // order.
 //
+// The Stage-2 physical plan is chosen adaptively per template by default
+// (-plan auto, with -explore N controlling the calibration sampling);
+// -plan witness and -plan rt force one plan for ablation runs. Match output
+// is identical for every plan setting.
+//
 // Matches are delivered asynchronously as
 //
 //	MATCH <qid> left=<docid>@<ts> right=<docid>@<ts>
@@ -168,14 +173,23 @@ func main() {
 	workers := flag.Int("workers", runtime.NumCPU(), "Stage-2 worker goroutines per publish (1 = sequential)")
 	pipeline := flag.Int("pipeline", runtime.NumCPU(), "ingest pipeline depth for PUBB batches and -async publishes (1 = sequential)")
 	async := flag.Bool("async", false, "route PUB through the continuous async ingest pipeline")
+	planName := flag.String("plan", "auto", "Stage-2 physical plan: auto (adaptive), witness, or rt (forced ablations)")
+	explore := flag.Int("explore", 64, "with -plan auto, run the non-chosen plan on ~1/N of plan decisions to calibrate the cost model (0 disables)")
 	flag.Parse()
 
 	kind := mmqjp.ProcessorMMQJP
 	if *viewMat {
 		kind = mmqjp.ProcessorViewMat
 	}
+	plan, err := mmqjp.ParsePlan(*planName)
+	if err != nil {
+		log.Fatalf("mmqjp-server: %v", err)
+	}
 	s := &server{
-		eng:    mmqjp.New(mmqjp.Options{Processor: kind, Parallelism: *workers, PipelineDepth: *pipeline}),
+		eng: mmqjp.New(mmqjp.Options{
+			Processor: kind, Parallelism: *workers, PipelineDepth: *pipeline,
+			Plan: plan, PlanExploreEvery: *explore,
+		}),
 		async:  *async,
 		owners: map[mmqjp.QueryID]*client{},
 	}

@@ -38,6 +38,16 @@
 // channel in admission order, byte-identical to serial Publish of that
 // order, and Flush/Close drain the pipeline.
 //
+// The Stage-2 physical plan is chosen adaptively per query template
+// (Options.Plan, default PlanAuto): runtime statistics — observed witness
+// fan-out, vector-group cardinality and probe volume, and per-plan
+// wall-time EWMAs — calibrate a cost model online that replaces the static
+// heuristic, and Options.PlanExploreEvery enables occasional exploration
+// runs of the non-chosen plan to keep both estimates honest. Plan choice
+// never changes output: forced PlanWitness, forced PlanRTDriven and
+// adaptive PlanAuto produce byte-identical match streams.
+// Engine.PlanStats exposes the per-template statistics.
+//
 // Subscriptions have a full lifecycle: Unsubscribe removes a query and
 // reclaims everything it no longer shares with the survivors — canonical
 // templates are refcounted over their member queries, and a template's

@@ -28,10 +28,57 @@ const (
 	ProcessorSequential
 )
 
+// Plan selects the Stage-2 physical plan for template conjunctive queries.
+type Plan int
+
+const (
+	// PlanAuto chooses per template per document with the adaptive
+	// statistics-driven planner: per-template cost statistics collected
+	// during evaluation calibrate the cost model online, and (with
+	// PlanExploreEvery > 0) occasional exploration keeps both plans'
+	// estimates honest. This is the default and the recommended
+	// production mode.
+	PlanAuto Plan = iota
+	// PlanWitness forces the witness-driven plan (join outward from the
+	// current document's value-join pairs) — ablations and tests.
+	PlanWitness
+	// PlanRTDriven forces the RT-driven plan (iterate the query
+	// relation's distinct variable vectors with index probes) —
+	// ablations and tests.
+	PlanRTDriven
+)
+
+// ParsePlan parses a plan name as accepted by the server's -plan flag:
+// "auto", "witness", or "rt" (also "rtdriven"/"rt-driven").
+func ParsePlan(s string) (Plan, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "auto", "":
+		return PlanAuto, nil
+	case "witness":
+		return PlanWitness, nil
+	case "rt", "rtdriven", "rt-driven":
+		return PlanRTDriven, nil
+	}
+	return PlanAuto, fmt.Errorf("mmqjp: unknown plan %q (want auto, witness or rt)", s)
+}
+
 // Options configures an Engine.
 type Options struct {
 	// Processor selects the join strategy (default ProcessorViewMat).
 	Processor ProcessorKind
+	// Plan forces the per-template physical plan (default PlanAuto, the
+	// adaptive chooser). Match output is byte-identical for every
+	// setting; only cost differs. Ignored by ProcessorSequential.
+	Plan Plan
+	// PlanExploreEvery enables PlanAuto's exploration policy: roughly one
+	// in this many per-template plan decisions additionally runs the
+	// non-chosen plan, timed for cost-model calibration only (its matches
+	// are discarded, so match output is unchanged). 0 disables
+	// exploration. Ignored for forced plans.
+	PlanExploreEvery int
+	// PlanExploreSeed seeds the deterministic per-template exploration
+	// sampler (0 selects 1).
+	PlanExploreSeed int64
 	// ViewCacheCapacity bounds the number of cached view slices
 	// (0 = unbounded); only meaningful for ProcessorViewMat.
 	ViewCacheCapacity int
@@ -129,6 +176,9 @@ func New(opts Options) *Engine {
 			ViewMaterialization: opts.Processor == ProcessorViewMat,
 			ViewCacheCapacity:   opts.ViewCacheCapacity,
 			RetainDocuments:     opts.RetainDocuments,
+			Plan:                core.PlanKind(opts.Plan),
+			PlanExploreEvery:    opts.PlanExploreEvery,
+			PlanExploreSeed:     opts.PlanExploreSeed,
 			Workers:             opts.Parallelism,
 			PipelineDepth:       opts.PipelineDepth,
 		})
@@ -609,9 +659,30 @@ func (e *Engine) Stats() string {
 		return fmt.Sprintf("sequential: %d queries, join time %v", e.seq.NumQueries(), e.seq.JoinTime())
 	}
 	s := e.proc.Stats()
-	return fmt.Sprintf("mmqjp: %d queries, %d templates, %d docs, %d matches, xpath %v, witness %v, rvj %v, rl %v, rr %v, cq %v, maintain %v, stage1 %v, stage2 %v",
+	return fmt.Sprintf("mmqjp: %d queries, %d templates, %d docs, %d matches, xpath %v, witness %v, rvj %v, rl %v, rr %v, cq %v, maintain %v, stage1 %v, stage2 %v, plans witness=%d rt=%d explore=%d",
 		e.proc.NumQueries(), e.proc.NumTemplates(), s.Documents, s.Matches,
-		s.XPath, s.Witness, s.Rvj, s.RL, s.RR, s.CQ, s.Maintain, s.Stage1Wall, s.Stage2Wall)
+		s.XPath, s.Witness, s.Rvj, s.RL, s.RR, s.CQ, s.Maintain, s.Stage1Wall, s.Stage2Wall,
+		s.WitnessPlans, s.RTPlans, s.Explorations)
+}
+
+// TemplatePlanStats is one query template's adaptive-planner snapshot: the
+// collected runtime statistics (witness fan-out, vector-group cardinality
+// and probe volume, calibrated per-unit plan costs) and run counters. See
+// Engine.PlanStats.
+type TemplatePlanStats = core.TemplatePlanStats
+
+// PlanStats returns the adaptive planner's per-template statistics for the
+// live query templates, in template order: the observed witness fan-out and
+// index-probe EWMAs, the calibrated per-unit cost of each physical plan,
+// and how often each plan ran (including exploration runs). It returns nil
+// in sequential mode, where there are no templates.
+func (e *Engine) PlanStats() []TemplatePlanStats {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.proc == nil {
+		return nil
+	}
+	return e.proc.PlanStats()
 }
 
 // Document is a parsed XML document with stream metadata. Construct one with

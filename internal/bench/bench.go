@@ -589,6 +589,94 @@ func publisherThroughput(qs []*xscl.Query, stream []*xmldoc.Document, mode Mode,
 	return perSecond(len(stream), time.Since(start)), p.NumTemplates()
 }
 
+// PlanningSweep — not a paper figure: the adaptive-planner ablation. It
+// measures end-to-end throughput (wall clock of per-document Process over
+// the stream) of forced PlanWitness, forced PlanRTDriven, and adaptive
+// PlanAuto (exploration on) on two opposed workloads:
+//
+//   - "rss-stream" favors the witness-driven plan: an incoming feed item's
+//     string values collide with few stored values, so joining outward from
+//     the current document is cheap.
+//   - "colliding-twolevel" favors the RT-driven plan: every document
+//     carries the same leaf values (the paper's technical benchmark,
+//     streamed with a finite window), so the witness-side fan-out explodes
+//     and iterating RT's distinct variable vectors wins.
+//
+// The reproduction target is that PlanAuto tracks the better forced plan on
+// both workloads (within noise) — the paper's cost-based-choice claim, now
+// driven by runtime statistics instead of frozen constants. The last
+// column reports PlanAuto's chosen-plan and exploration counts.
+func PlanningSweep(o Options) Result {
+	o = o.Defaults()
+	res := Result{ID: "planning",
+		Title: fmt.Sprintf("adaptive planner vs forced plans (%d queries)", o.Queries),
+		Columns: []string{"workload", "PlanWitness (docs/s)", "PlanRTDriven (docs/s)",
+			"PlanAuto (docs/s)", "auto witness/rt/explore"}}
+
+	rssc := workload.DefaultRSS()
+	rng := rand.New(rand.NewSource(o.Seed))
+	qs := rssc.Queries(rng, o.Queries)
+	srng := rand.New(rand.NewSource(o.Seed + 7))
+	stream := rssc.Stream(srng, o.RSSItems)
+	res.Rows = append(res.Rows, planningRow("rss-stream", qs, stream, o))
+
+	tl := workload.TwoLevel{N: 4, Theta: 0.8, Window: 12}
+	qrng := rand.New(rand.NewSource(o.Seed))
+	tqs := tl.Queries(qrng, o.Queries)
+	nDocs := o.RSSItems / 4
+	if nDocs > 100 {
+		nDocs = 100
+	}
+	if nDocs < 10 {
+		nDocs = 10
+	}
+	res.Rows = append(res.Rows, planningRow("colliding-twolevel", tqs, CollidingStream(tl.N, nDocs), o))
+	return res
+}
+
+// CollidingStream builds the RT-favoring document stream of the "planning"
+// experiment: n-leaf two-level documents all carrying identical values,
+// timestamps advancing one unit per document. Exported so the root
+// BenchmarkPlanningSweep measures exactly the gate experiment's workload
+// shape.
+func CollidingStream(n, count int) []*xmldoc.Document {
+	out := make([]*xmldoc.Document, count)
+	for i := range out {
+		b := xmldoc.NewBuilder(xmldoc.DocID(i+1), xmldoc.Timestamp(i+1), "r")
+		for l := 1; l <= n; l++ {
+			b.Element(0, fmt.Sprintf("l%d", l), fmt.Sprintf("value-%d", l))
+		}
+		out[i] = b.Build()
+	}
+	return out
+}
+
+func planningRow(name string, qs []*xscl.Query, stream []*xmldoc.Document, o Options) []string {
+	w, _ := planThroughput(qs, stream, core.PlanWitness, 0, o.Seed)
+	r, _ := planThroughput(qs, stream, core.PlanRTDriven, 0, o.Seed)
+	a, s := planThroughput(qs, stream, core.PlanAuto, 64, o.Seed)
+	return []string{name, f(w), f(r), f(a),
+		fmt.Sprintf("%d/%d/%d", s.WitnessPlans, s.RTPlans, s.Explorations)}
+}
+
+// planThroughput returns end-to-end documents/second of per-document
+// processing under the given plan (view materialization on, the production
+// mode), plus the final stats for the chosen-plan counters.
+func planThroughput(qs []*xscl.Query, stream []*xmldoc.Document, plan core.PlanKind, explore int, seed int64) (float64, core.Stats) {
+	p := core.NewProcessor(core.Config{
+		ViewMaterialization: true, Plan: plan,
+		PlanExploreEvery: explore, PlanExploreSeed: seed,
+	})
+	for _, q := range qs {
+		p.MustRegister(q)
+	}
+	start := time.Now()
+	for _, d := range stream {
+		p.Process("S", d)
+	}
+	return perSecond(len(stream), time.Since(start)), p.Stats()
+}
+
 // Table3 — number of query templates vs number of value joins, for the flat
 // and the complex (three-level) schema, computed by exact enumeration.
 //
@@ -768,7 +856,7 @@ func sideComplex(part []int, pfx string) string {
 // All returns every experiment id: the paper's tables and figures in paper
 // order, then the repo's own scaling experiments.
 func All() []string {
-	return []string{"table3", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "workers", "pipeline", "churn", "publishers"}
+	return []string{"table3", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "workers", "pipeline", "churn", "publishers", "planning"}
 }
 
 // Run executes one experiment by id.
@@ -802,6 +890,8 @@ func Run(id string, o Options) (Result, error) {
 		return ChurnSweep(o), nil
 	case "publishers":
 		return PublishersSweep(o), nil
+	case "planning":
+		return PlanningSweep(o), nil
 	default:
 		return Result{}, fmt.Errorf("bench: unknown experiment %q (have %v)", id, All())
 	}

@@ -1,1 +1,123 @@
+// Package core implements the MMQJP Join Processor: Stage-1 shared
+// tree-pattern matching feeding Stage-2 template-sharded conjunctive-query
+// evaluation over the join state, with view materialization (Section 5),
+// pipelined and continuous ingestion, subscription lifecycle, and an
+// adaptive statistics-driven physical-plan chooser (planner.go).
+//
+// This file holds the processor-wide configuration and the accumulated
+// statistics; the Processor itself lives in processor.go.
 package core
+
+import "time"
+
+// Config selects processor behaviour.
+type Config struct {
+	// ViewMaterialization enables the Section-5 optimization: shared
+	// Rvj/RL/RR views and the per-string view cache (Algorithms 4 and 5).
+	ViewMaterialization bool
+	// ViewCacheCapacity bounds the number of cached RL slices
+	// (0 = unbounded). Ignored unless ViewMaterialization is set.
+	ViewCacheCapacity int
+	// RetainDocuments keeps full documents in the join state so that
+	// query outputs can be constructed as XML; benchmarks disable it.
+	RetainDocuments bool
+	// Plan overrides the per-template physical plan choice (tests and
+	// ablation benchmarks; PlanAuto picks adaptively — see planner.go).
+	Plan PlanKind
+	// PlanExploreEvery enables the PlanAuto exploration policy: roughly
+	// one in PlanExploreEvery per-template plan decisions additionally
+	// runs the non-chosen plan, timed for cost-model calibration only
+	// (its matches are discarded, so match output is unchanged). This is
+	// what keeps both per-plan cost estimates honest when the chooser
+	// settles on one plan. 0 disables exploration. Ignored for forced
+	// plans.
+	PlanExploreEvery int
+	// PlanExploreSeed seeds the deterministic per-template exploration
+	// sampler (0 selects 1). Given a seed, each template's sequence of
+	// explore/skip decisions is a pure function of its decision count —
+	// independent of Workers, PipelineDepth and wall-clock timing.
+	PlanExploreSeed int64
+	// Workers sets the number of template shards evaluated concurrently
+	// in Stage 2 (shard.go). Each shard owns the query relations, view
+	// cache entries and stats of the templates assigned to it, so workers
+	// share no mutable state. 0 or 1 selects sequential evaluation;
+	// match output is identical for every worker count.
+	Workers int
+	// PipelineDepth bounds how many upcoming documents of a ProcessBatch
+	// call may have Stage 1 (parse-independent NFA match and witness
+	// construction) running or completed ahead of the coordinator's
+	// in-order Stage-2 consumption (pipeline.go). 0 or 1 selects the
+	// sequential per-document path; match output is identical for every
+	// depth.
+	PipelineDepth int
+}
+
+// PlanKind selects the physical plan for template conjunctive queries.
+type PlanKind int
+
+const (
+	// PlanAuto chooses per template per document by calibrated cost
+	// estimate (planner.go).
+	PlanAuto PlanKind = iota
+	// PlanWitness always joins outward from the current document's
+	// value-join pairs (processor.go).
+	PlanWitness
+	// PlanRTDriven always iterates RT's distinct variable vectors
+	// (rtplan.go).
+	PlanRTDriven
+)
+
+// Stats accumulates wall-clock cost of the processing phases, matching the
+// breakdown of Figures 14 and 15.
+type Stats struct {
+	XPath    time.Duration // Stage 1: shared tree-pattern matching
+	Witness  time.Duration // building RbinW/RdocW/RrootW from witnesses
+	Rvj      time.Duration // common-string discovery (semi-join, Alg. 4 l.2)
+	RL       time.Duration // computing/looking up RL slices
+	RR       time.Duration // computing RR slices
+	CQ       time.Duration // per-template conjunctive query evaluation
+	Maintain time.Duration // Algorithm 2 + view cache maintenance + GC
+	// Stage1Wall is the per-document wall-clock time of Stage 1 (NFA match
+	// plus witness construction), accumulated across documents and batch
+	// publishes. In a pipelined batch (Config.PipelineDepth > 1) Stage 1
+	// runs concurrently in workers, so Stage1Wall sums per-document time
+	// across workers and may exceed the batch's elapsed wall time.
+	Stage1Wall time.Duration
+	// Stage2Wall is the coordinator's wall-clock time of Stage-2 template
+	// evaluation. With Workers > 1 the per-phase timings above accumulate
+	// CPU time across workers and may exceed it; Stage2Wall is what
+	// shrinks as workers are added. Both wall counters accumulate across
+	// Process and ProcessBatch calls.
+	Stage2Wall time.Duration
+	Matches    int64
+	Documents  int64
+	// WitnessPlans and RTPlans count per-template plan choices (see
+	// planner.go); the ablation tests assert the chooser adapts.
+	WitnessPlans int64
+	RTPlans      int64
+	// Explorations counts PlanAuto exploration runs of the non-chosen
+	// plan (calibration only, matches discarded); ExploreWall is their
+	// wall-clock cost, kept out of CQ so the Figure-14/15 breakdowns
+	// report only the plan that produced the output.
+	Explorations int64
+	ExploreWall  time.Duration
+}
+
+// add accumulates o into s (merging per-shard stats into a total).
+func (s *Stats) add(o Stats) {
+	s.XPath += o.XPath
+	s.Witness += o.Witness
+	s.Rvj += o.Rvj
+	s.RL += o.RL
+	s.RR += o.RR
+	s.CQ += o.CQ
+	s.Maintain += o.Maintain
+	s.Stage1Wall += o.Stage1Wall
+	s.Stage2Wall += o.Stage2Wall
+	s.Matches += o.Matches
+	s.Documents += o.Documents
+	s.WitnessPlans += o.WitnessPlans
+	s.RTPlans += o.RTPlans
+	s.Explorations += o.Explorations
+	s.ExploreWall += o.ExploreWall
+}

@@ -38,96 +38,6 @@ type Match struct {
 	Bindings []xmldoc.NodeID
 }
 
-// Stats accumulates wall-clock cost of the processing phases, matching the
-// breakdown of Figures 14 and 15.
-type Stats struct {
-	XPath    time.Duration // Stage 1: shared tree-pattern matching
-	Witness  time.Duration // building RbinW/RdocW/RrootW from witnesses
-	Rvj      time.Duration // common-string discovery (semi-join, Alg. 4 l.2)
-	RL       time.Duration // computing/looking up RL slices
-	RR       time.Duration // computing RR slices
-	CQ       time.Duration // per-template conjunctive query evaluation
-	Maintain time.Duration // Algorithm 2 + view cache maintenance + GC
-	// Stage1Wall is the per-document wall-clock time of Stage 1 (NFA match
-	// plus witness construction), accumulated across documents and batch
-	// publishes. In a pipelined batch (Config.PipelineDepth > 1) Stage 1
-	// runs concurrently in workers, so Stage1Wall sums per-document time
-	// across workers and may exceed the batch's elapsed wall time.
-	Stage1Wall time.Duration
-	// Stage2Wall is the coordinator's wall-clock time of Stage-2 template
-	// evaluation. With Workers > 1 the per-phase timings above accumulate
-	// CPU time across workers and may exceed it; Stage2Wall is what
-	// shrinks as workers are added. Both wall counters accumulate across
-	// Process and ProcessBatch calls.
-	Stage2Wall time.Duration
-	Matches    int64
-	Documents  int64
-	// WitnessPlans and RTPlans count per-template plan choices (see
-	// rtplan.go); the ablation tests assert the chooser adapts.
-	WitnessPlans int64
-	RTPlans      int64
-}
-
-// add accumulates o into s (merging per-shard stats into a total).
-func (s *Stats) add(o Stats) {
-	s.XPath += o.XPath
-	s.Witness += o.Witness
-	s.Rvj += o.Rvj
-	s.RL += o.RL
-	s.RR += o.RR
-	s.CQ += o.CQ
-	s.Maintain += o.Maintain
-	s.Stage1Wall += o.Stage1Wall
-	s.Stage2Wall += o.Stage2Wall
-	s.Matches += o.Matches
-	s.Documents += o.Documents
-	s.WitnessPlans += o.WitnessPlans
-	s.RTPlans += o.RTPlans
-}
-
-// Config selects processor behaviour.
-type Config struct {
-	// ViewMaterialization enables the Section-5 optimization: shared
-	// Rvj/RL/RR views and the per-string view cache (Algorithms 4 and 5).
-	ViewMaterialization bool
-	// ViewCacheCapacity bounds the number of cached RL slices
-	// (0 = unbounded). Ignored unless ViewMaterialization is set.
-	ViewCacheCapacity int
-	// RetainDocuments keeps full documents in the join state so that
-	// query outputs can be constructed as XML; benchmarks disable it.
-	RetainDocuments bool
-	// Plan overrides the per-template physical plan choice (tests and
-	// ablation benchmarks; PlanAuto picks by cost estimate).
-	Plan PlanKind
-	// Workers sets the number of template shards evaluated concurrently
-	// in Stage 2 (shard.go). Each shard owns the query relations, view
-	// cache entries and stats of the templates assigned to it, so workers
-	// share no mutable state. 0 or 1 selects sequential evaluation;
-	// match output is identical for every worker count.
-	Workers int
-	// PipelineDepth bounds how many upcoming documents of a ProcessBatch
-	// call may have Stage 1 (parse-independent NFA match and witness
-	// construction) running or completed ahead of the coordinator's
-	// in-order Stage-2 consumption (pipeline.go). 0 or 1 selects the
-	// sequential per-document path; match output is identical for every
-	// depth.
-	PipelineDepth int
-}
-
-// PlanKind selects the physical plan for template conjunctive queries.
-type PlanKind int
-
-const (
-	// PlanAuto chooses per template per document by fan-out estimate.
-	PlanAuto PlanKind = iota
-	// PlanWitness always joins outward from the current document's
-	// value-join pairs (processor.go).
-	PlanWitness
-	// PlanRTDriven always iterates RT's distinct variable vectors
-	// (rtplan.go).
-	PlanRTDriven
-)
-
 // Processor is the MMQJP Join Processor together with its Stage-1 engine.
 type Processor struct {
 	cfg  Config
@@ -173,6 +83,14 @@ type Processor struct {
 	// Unregister: memory tracks lifetime-distinct query shapes (small by
 	// the template-sharing premise), not the live query count.
 	canonMemo map[string]canonResult
+
+	// planMemo holds the adaptive planner's per-template statistics,
+	// keyed by template signature (planner.go). Like canonMemo it is
+	// retained across Unregister: a template reclaimed by churn and
+	// re-registered later resumes with its calibrated cost model instead
+	// of re-learning from scratch, and memory tracks lifetime-distinct
+	// template shapes, not the live query count.
+	planMemo map[string]*planStats
 
 	// Window maxima drive GC cutoffs. The holder counts track how many
 	// live join queries sit exactly at each maximum, so Unregister only
@@ -280,6 +198,7 @@ func NewProcessor(cfg Config) *Processor {
 		patterns:      map[yfilter.PatternID]*patternInfo{},
 		singleQueries: map[yfilter.PatternID][]QueryID{},
 		canonMemo:     map[string]canonResult{},
+		planMemo:      map[string]*planStats{},
 		state:         NewState(),
 	}
 	for i := 0; i < workers; i++ {
@@ -589,6 +508,7 @@ func (p *Processor) registerInstance(q *xscl.Query, qid QueryID, swapped bool) (
 	if tmpl == nil {
 		tmpl = NewTemplateFromCanonical(sig, red, order)
 		tmpl.ID = p.nextTemplateID
+		tmpl.plan = p.planStatsFor(sig)
 		p.nextTemplateID++
 		p.templates[sig] = tmpl
 		p.templateList = append(p.templateList, tmpl)
@@ -907,20 +827,6 @@ func (t *Template) headVars() []string {
 	}
 	head = append(head, "wl")
 	return head
-}
-
-// useRTDriven decides the physical plan for one template against the
-// current document: witness-driven when the estimated value-join fan-out is
-// small, RT-driven when it would explode (e.g. the two-document technical
-// benchmarks, where every leaf of the stored document matches).
-func (p *Processor) useRTDriven(t *Template, perDoc map[xmldoc.DocID]int) bool {
-	switch p.cfg.Plan {
-	case PlanWitness:
-		return false
-	case PlanRTDriven:
-		return true
-	}
-	return witnessFanout(perDoc, len(t.VJ)) > 4*t.rtDrivenCost()+1024
 }
 
 // appendAnchors emits the structural-edge atoms from template position pos

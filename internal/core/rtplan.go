@@ -24,9 +24,10 @@ import (
 //     for the paper's CQ when the witness side fans out: RT as the outer
 //     side with index nested loops.
 //
-// The two plans produce identical RoutT rows; processor.go chooses per
-// template per document using the fan-out estimate below, and the
-// differential tests force and compare both.
+// The two plans produce identical RoutT rows; the adaptive planner
+// (planner.go) chooses per template per document using the fan-out estimate
+// below calibrated by observed wall times, and the differential tests force
+// and compare both.
 
 // vecGroup is one distinct variable vector of a template's RT relation,
 // with the instances (qid, window) that share it.
@@ -176,9 +177,11 @@ func (s *docSubsets) rootWFor(v int64) *relation.Relation {
 
 // evalTemplateRTDriven evaluates one template against the current document
 // by iterating its distinct variable vectors. rvj is the value-join pair
-// relation (docid, nodeL, nodeR, strVal) of the current document.
-func (p *Processor) evalTemplateRTDriven(t *Template, w *CurrentWitness, rvj *relation.Relation, subs *docSubsets, d *xmldoc.Document) []Match {
-	var out []Match
+// relation (docid, nodeL, nodeR, strVal) of the current document. groups
+// reports how many vector groups were actually probed (their required
+// subsets were all non-empty) — the index-probe volume statistic of the
+// adaptive planner.
+func (p *Processor) evalTemplateRTDriven(t *Template, w *CurrentWitness, rvj *relation.Relation, subs *docSubsets, d *xmldoc.Document) (out []Match, groups int) {
 	head := make([]string, 0, t.N+1)
 	head = append(head, "docid")
 	for i := 0; i < t.N; i++ {
@@ -205,6 +208,7 @@ groups:
 				continue groups
 			}
 		}
+		groups++
 		rows := relation.EvalConjunctiveOrdered(atoms, head)
 		if rows.Len() == 0 {
 			continue
@@ -228,7 +232,7 @@ groups:
 			}
 		}
 	}
-	return out
+	return out, groups
 }
 
 // appendVectorAnchors is the RT-driven counterpart of appendAnchors: the

@@ -292,40 +292,44 @@ func (p *Processor) evalShardBasic(sh *shard, w *CurrentWitness, d *xmldoc.Docum
 				perDoc[xmldoc.DocID(dt[0].I)]++
 			}
 		}
-		if rvj.Len() == 0 {
-			sh.stats.CQ += time.Since(tcq)
-			continue
-		}
-		if p.useRTDriven(t, perDoc) {
-			sh.stats.RTPlans++
-			if subs == nil {
-				subs = newDocSubsets(p.state, w)
-			}
-			out = append(out, p.evalTemplateRTDriven(t, w, rvj, subs, d)...)
-			sh.stats.CQ += time.Since(tcq)
-			continue
-		}
-		sh.stats.WitnessPlans++
-		// Interleaved atom order: each value join is immediately
-		// followed by the structural edges anchoring its endpoints,
-		// walking up to the side roots, so every join is selective.
-		atoms := make([]relation.Atom, 0, 2*len(t.VJ)+t.N+2)
-		emitted := map[[2]int]bool{}
-		rootDone := map[Side]bool{}
-		for k, e := range t.VJ {
-			atoms = append(atoms, relation.Atom{
-				Name: "Rvj", Rel: rvj,
-				Vars: []string{"docid", nvar(e[0]), nvar(e[1]), svar(k)},
-			})
-			atoms = p.appendAnchors(atoms, t, w, e[0], Left, emitted, rootDone)
-			atoms = p.appendAnchors(atoms, t, w, e[1], Right, emitted, rootDone)
-		}
-		atoms = append(atoms, sh.rtAtom(t))
-		rout := relation.EvalConjunctiveOrdered(atoms, t.headVars())
 		sh.stats.CQ += time.Since(tcq)
-		out = append(out, p.emit(t, rout, d)...)
+		if rvj.Len() == 0 {
+			continue
+		}
+		dec := p.choosePlan(t, perDoc)
+		out = append(out, p.runPlans(sh, t, dec,
+			func() []Match { return p.evalTemplateWitnessBasic(sh, t, w, rvj, d) },
+			func() ([]Match, int) {
+				if subs == nil {
+					subs = newDocSubsets(p.state, w)
+				}
+				return p.evalTemplateRTDriven(t, w, rvj, subs, d)
+			})...)
 	}
 	return out
+}
+
+// evalTemplateWitnessBasic is the witness-driven plan of Algorithm 1 for one
+// template: the interleaved conjunctive query over the per-template
+// value-join pair relation, anchored structural edges and the indexed RT
+// atom. Each value join is immediately followed by the structural edges
+// anchoring its endpoints, walking up to the side roots, so every join is
+// selective.
+func (p *Processor) evalTemplateWitnessBasic(sh *shard, t *Template, w *CurrentWitness, rvj *relation.Relation, d *xmldoc.Document) []Match {
+	atoms := make([]relation.Atom, 0, 2*len(t.VJ)+t.N+2)
+	emitted := map[[2]int]bool{}
+	rootDone := map[Side]bool{}
+	for k, e := range t.VJ {
+		atoms = append(atoms, relation.Atom{
+			Name: "Rvj", Rel: rvj,
+			Vars: []string{"docid", nvar(e[0]), nvar(e[1]), svar(k)},
+		})
+		atoms = p.appendAnchors(atoms, t, w, e[0], Left, emitted, rootDone)
+		atoms = p.appendAnchors(atoms, t, w, e[1], Right, emitted, rootDone)
+	}
+	atoms = append(atoms, sh.rtAtom(t))
+	rout := relation.EvalConjunctiveOrdered(atoms, t.headVars())
+	return p.emit(t, rout, d)
 }
 
 // evalShardViewMat implements the per-template tail of Algorithm 4 over one
@@ -334,29 +338,31 @@ func (p *Processor) evalShardViewMat(sh *shard, w *CurrentWitness, d *xmldoc.Doc
 	var out []Match
 	var subs *docSubsets
 	for _, t := range sh.templates {
-		if p.useRTDriven(t, pre.perDoc) {
-			sh.stats.RTPlans++
+		dec := p.choosePlan(t, pre.perDoc)
+		var rvj *relation.Relation
+		if dec.rtDriven || dec.explore {
 			// The value-join pair relation is computed once per
-			// document across all shards (sharedRvj) — the
-			// Section-5 sharing applies to this plan too. The
+			// document across all shards (sharedRvj) — the Section-5
+			// sharing applies to this plan too. It is resolved before
+			// the timed plan run so its one-time build cost lands in
+			// Stats.Rvj, not in CQ or the RT plan's calibration. The
 			// variable-pair subsets stay per shard: they memoize
-			// lazily, so each shard materializes only the pairs
-			// its own templates probe.
+			// lazily, so each shard materializes only the pairs its
+			// own templates probe.
+			rvj = pre.sharedRvj(p, w, sh)
 			if subs == nil {
 				subs = newDocSubsets(p.state, w)
 			}
-			rvj := pre.sharedRvj(p, w, sh)
-			tcq := time.Now()
-			out = append(out, p.evalTemplateRTDriven(t, w, rvj, subs, d)...)
-			sh.stats.CQ += time.Since(tcq)
-			continue
 		}
-		sh.stats.WitnessPlans++
-		tcq := time.Now()
-		atoms := p.viewMatAtoms(sh, t, w, pre.rl, pre.rr)
-		rout := relation.EvalConjunctiveOrdered(atoms, t.headVars())
-		sh.stats.CQ += time.Since(tcq)
-		out = append(out, p.emit(t, rout, d)...)
+		out = append(out, p.runPlans(sh, t, dec,
+			func() []Match {
+				atoms := p.viewMatAtoms(sh, t, w, pre.rl, pre.rr)
+				rout := relation.EvalConjunctiveOrdered(atoms, t.headVars())
+				return p.emit(t, rout, d)
+			},
+			func() ([]Match, int) {
+				return p.evalTemplateRTDriven(t, w, rvj, subs, d)
+			})...)
 	}
 	return out
 }

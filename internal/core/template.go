@@ -34,6 +34,12 @@ type Template struct {
 	vectors map[string]*vecGroup
 	vecList []*vecGroup
 
+	// plan is the template's adaptive-planner record (planner.go). It is
+	// owned by the processor's planMemo keyed by Sig and therefore
+	// survives template reclamation: a re-registered template resumes
+	// with its calibrated cost model.
+	plan *planStats
+
 	// refs counts the live query instances registered on this template;
 	// at zero the processor reclaims the template and everything it owns
 	// (processor.go Unregister).

@@ -1,0 +1,199 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/xmldoc"
+	"repro/internal/xscl"
+)
+
+// RandomWorkload generates seeded random XSCL queries, document streams and
+// replayable subscription traces for the differential test harness: the
+// same rng seed always yields the same queries, documents and churn
+// schedule, so a failing trial is reproducible from its logged seed alone.
+//
+// Two schema shapes are generated. The flat shape is a two-level document
+// (leaves drawn from LeafNames directly under the root) with queries
+// joining k random leaves; the deep shape is a three-level document
+// (intermediates m0..m2 over leaves l0..l3) with queries binding leaves
+// under descendant-axis intermediate steps. String values are drawn from a
+// Domain-sized pool, so a small Domain forces the value collisions the join
+// plans disagree about.
+type RandomWorkload struct {
+	// LeafNames are the flat-schema leaf tags (ignored when Deep).
+	LeafNames []string
+	// Deep selects the three-level schema.
+	Deep bool
+	// MaxK bounds the number of value joins per query (k is uniform in
+	// 1..MaxK).
+	MaxK int
+	// MaxWindow bounds the FOLLOWED BY/JOIN window length (uniform in
+	// 1..MaxWindow).
+	MaxWindow int64
+	// Domain is the string-value pool size per document generation
+	// (uniform in 1..Domain when DomainJitter, else exactly Domain).
+	Domain int
+	// JoinOps also generates JOIN queries (otherwise only FOLLOWED BY).
+	JoinOps bool
+}
+
+// DefaultRandomFlat returns the flat-schema generator used by the
+// randomized differential harness.
+func DefaultRandomFlat() RandomWorkload {
+	return RandomWorkload{
+		LeafNames: []string{"a", "b", "c", "d", "e"},
+		MaxK:      3, MaxWindow: 50, Domain: 3, JoinOps: true,
+	}
+}
+
+// DefaultRandomDeep returns the three-level-schema generator.
+func DefaultRandomDeep() RandomWorkload {
+	return RandomWorkload{
+		Deep: true, MaxK: 3, MaxWindow: 50, Domain: 3, JoinOps: true,
+	}
+}
+
+// Query generates one random query: k ~ U(1..MaxK) value joins between two
+// random blocks over the schema.
+func (c RandomWorkload) Query(rng *rand.Rand) *xscl.Query {
+	op := "FOLLOWED BY"
+	if c.JoinOps && rng.Intn(2) == 1 {
+		op = "JOIN"
+	}
+	window := int64(1 + rng.Int63n(c.MaxWindow))
+	if c.Deep {
+		return c.deepQuery(rng, op, window)
+	}
+	return c.flatQuery(rng, op, window)
+}
+
+func (c RandomWorkload) flatQuery(rng *rand.Rand, op string, window int64) *xscl.Query {
+	k := 1 + rng.Intn(c.MaxK)
+	if k > len(c.LeafNames) {
+		k = len(c.LeafNames)
+	}
+	lperm := rng.Perm(len(c.LeafNames))[:k]
+	rperm := rng.Perm(len(c.LeafNames))[:k]
+	lhs, rhs, pred := "S//item->v0", "S//item->w0", ""
+	for i := 0; i < k; i++ {
+		lhs += fmt.Sprintf("[.//%s->v%d]", c.LeafNames[lperm[i]], i+1)
+		rhs += fmt.Sprintf("[.//%s->w%d]", c.LeafNames[rperm[i]], i+1)
+		if pred != "" {
+			pred += " AND "
+		}
+		pred += fmt.Sprintf("v%d=w%d", i+1, i+1)
+	}
+	return xscl.MustParse(fmt.Sprintf("%s %s{%s, %d} %s", lhs, op, pred, window, rhs))
+}
+
+func (c RandomWorkload) deepQuery(rng *rand.Rand, op string, window int64) *xscl.Query {
+	k := 1 + rng.Intn(c.MaxK)
+	side := func(pfx string) (string, []string) {
+		s := fmt.Sprintf("S//item->%s0", pfx)
+		var vars []string
+		for i := 0; i < k; i++ {
+			v := fmt.Sprintf("%s%d", pfx, i+1)
+			s += fmt.Sprintf("[.//m%d[.//l%d->%s]]", rng.Intn(3), rng.Intn(4), v)
+			vars = append(vars, v)
+		}
+		return s, vars
+	}
+	lhs, lv := side("v")
+	rhs, rv := side("w")
+	pred := ""
+	for i := 0; i < k; i++ {
+		if pred != "" {
+			pred += " AND "
+		}
+		pred += fmt.Sprintf("%s=%s", lv[i], rv[i])
+	}
+	return xscl.MustParse(fmt.Sprintf("%s %s{%s, %d} %s", lhs, op, pred, window, rhs))
+}
+
+// Document generates one random document of the configured schema shape.
+func (c RandomWorkload) Document(rng *rand.Rand, id xmldoc.DocID, ts xmldoc.Timestamp) *xmldoc.Document {
+	b := xmldoc.NewBuilder(id, ts, "item")
+	if c.Deep {
+		for m := 0; m < 2+rng.Intn(2); m++ {
+			mid := b.Element(0, fmt.Sprintf("m%d", rng.Intn(3)), "")
+			for l := 0; l < 1+rng.Intn(3); l++ {
+				b.Element(mid, fmt.Sprintf("l%d", rng.Intn(4)), c.value(rng))
+			}
+		}
+		return b.Build()
+	}
+	n := 1 + rng.Intn(len(c.LeafNames))
+	perm := rng.Perm(len(c.LeafNames))
+	for i := 0; i < n; i++ {
+		b.Element(0, c.LeafNames[perm[i]], c.value(rng))
+	}
+	return b.Build()
+}
+
+func (c RandomWorkload) value(rng *rand.Rand) string {
+	return fmt.Sprintf("val%d", rng.Intn(c.Domain))
+}
+
+// TraceEvent is one step of a replayable trace: optional subscription churn
+// followed by one document publish. Unsubscribe entries are subscription
+// indexes — positions in the global subscription order (Trace.Initial
+// first, then every Subscribe in event order) — which equal the query ids
+// both internal/core and internal/sequential assign, since both allocate
+// ids sequentially and never reuse them.
+type TraceEvent struct {
+	Unsubscribe []int
+	Subscribe   []*xscl.Query
+	Doc         *xmldoc.Document
+}
+
+// Trace is a replayable workload: an initial query set, then events. Every
+// system under differential test replays the identical trace, so their
+// match streams are comparable event by event.
+type Trace struct {
+	Initial []*xscl.Query
+	Events  []TraceEvent
+}
+
+// NumSubscriptions returns the total number of subscriptions the trace
+// issues (initial plus churned-in).
+func (tr Trace) NumSubscriptions() int {
+	n := len(tr.Initial)
+	for _, ev := range tr.Events {
+		n += len(ev.Subscribe)
+	}
+	return n
+}
+
+// Trace generates a replayable trace: nQueries initial subscriptions, then
+// nDocs publish events with timestamps advancing by 0..19 units. With churn
+// enabled, roughly a third of the events unsubscribe one live query and a
+// third subscribe a fresh one (at least one query always stays live). The
+// result is a pure function of the rng state.
+func (c RandomWorkload) Trace(rng *rand.Rand, nQueries, nDocs int, churn bool) Trace {
+	tr := Trace{}
+	var live []int
+	for i := 0; i < nQueries; i++ {
+		tr.Initial = append(tr.Initial, c.Query(rng))
+		live = append(live, i)
+	}
+	next := nQueries
+	ts := xmldoc.Timestamp(0)
+	for i := 0; i < nDocs; i++ {
+		var ev TraceEvent
+		if churn && len(live) > 1 && rng.Intn(3) == 0 {
+			k := rng.Intn(len(live))
+			ev.Unsubscribe = append(ev.Unsubscribe, live[k])
+			live = append(live[:k], live[k+1:]...)
+		}
+		if churn && rng.Intn(3) == 0 {
+			ev.Subscribe = append(ev.Subscribe, c.Query(rng))
+			live = append(live, next)
+			next++
+		}
+		ts += xmldoc.Timestamp(rng.Intn(20))
+		ev.Doc = c.Document(rng, xmldoc.DocID(i+1), ts)
+		tr.Events = append(tr.Events, ev)
+	}
+	return tr
+}

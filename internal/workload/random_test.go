@@ -1,0 +1,81 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// traceFingerprint serializes a trace: query sources, churn schedule, and
+// document XML, enough to detect any divergence between two generations.
+func traceFingerprint(tr Trace) string {
+	s := ""
+	for _, q := range tr.Initial {
+		s += "I:" + q.Source + "\n"
+	}
+	for _, ev := range tr.Events {
+		for _, u := range ev.Unsubscribe {
+			s += fmt.Sprintf("U:%d\n", u)
+		}
+		for _, q := range ev.Subscribe {
+			s += "S:" + q.Source + "\n"
+		}
+		s += "D:" + ev.Doc.XMLText() + "\n"
+	}
+	return s
+}
+
+// TestRandomTraceDeterministicPerSeed is the reproducibility contract of
+// the differential harness: a trace is a pure function of the seed, so a
+// failure logged with its seed can be replayed exactly.
+func TestRandomTraceDeterministicPerSeed(t *testing.T) {
+	for _, deep := range []bool{false, true} {
+		gen := DefaultRandomFlat()
+		if deep {
+			gen = DefaultRandomDeep()
+		}
+		a := gen.Trace(rand.New(rand.NewSource(42)), 6, 12, true)
+		b := gen.Trace(rand.New(rand.NewSource(42)), 6, 12, true)
+		if traceFingerprint(a) != traceFingerprint(b) {
+			t.Errorf("deep=%v: same seed produced different traces", deep)
+		}
+		c := gen.Trace(rand.New(rand.NewSource(43)), 6, 12, true)
+		if traceFingerprint(a) == traceFingerprint(c) {
+			t.Errorf("deep=%v: different seeds produced identical traces", deep)
+		}
+	}
+}
+
+// TestRandomTraceChurnInvariants checks the generator's bookkeeping: churn
+// only unsubscribes live subscriptions, never the last one, and every
+// subscription index is within the issued range.
+func TestRandomTraceChurnInvariants(t *testing.T) {
+	gen := DefaultRandomFlat()
+	tr := gen.Trace(rand.New(rand.NewSource(7)), 5, 40, true)
+	live := map[int]bool{}
+	for i := range tr.Initial {
+		live[i] = true
+	}
+	next := len(tr.Initial)
+	for i, ev := range tr.Events {
+		for _, u := range ev.Unsubscribe {
+			if !live[u] {
+				t.Fatalf("event %d unsubscribes dead or unknown subscription %d", i, u)
+			}
+			if len(live) == 1 {
+				t.Fatalf("event %d unsubscribes the last live subscription", i)
+			}
+			delete(live, u)
+		}
+		for range ev.Subscribe {
+			live[next] = true
+			next++
+		}
+		if ev.Doc == nil {
+			t.Fatalf("event %d has no document", i)
+		}
+	}
+	if next != tr.NumSubscriptions() {
+		t.Fatalf("NumSubscriptions %d, replay counted %d", tr.NumSubscriptions(), next)
+	}
+}
