@@ -1,4 +1,8 @@
-package mmqjp
+// Package mmqjp_test is the external test package for the benchmarks: it
+// exercises only internal packages, and keeping it external lets
+// internal/bench import the root package (for the shared EngineStats
+// schema) without an import cycle through the test binary.
+package mmqjp_test
 
 // One testing.B benchmark per table and figure of the paper's evaluation
 // (Section 6), plus microbenchmarks of the subsystems the figures exercise.

@@ -1,0 +1,162 @@
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	mmqjp "repro"
+	"repro/internal/obs"
+)
+
+// Observability sidecar: -debug-addr starts a second, HTTP listener — kept
+// off the line-protocol port so operators can firewall it separately —
+// serving
+//
+//	/metrics       Prometheus text exposition of the metric set below
+//	/healthz       pipeline liveness: a barrier round-trip through the
+//	               continuous ingest pipeline under a deadline; 200 while
+//	               the pipeline consumes, 503 once it is stuck
+//	/debug/pprof/  the standard Go profiling endpoints
+//
+// Metric set (all prefixed mmqjp_):
+//
+//	documents_total, matches_total        engine cumulative counters
+//	queries, templates                    live-set gauges
+//	stage1_seconds, stage2_seconds,       per-document hot-path wall-time
+//	merge_seconds, gc_seconds             histograms (Options.OnDocument)
+//	ingest_queue_depth                    admitted-but-unconsumed gauge
+//	ingest_backpressure_stalls_total      admissions that blocked on a
+//	                                      full queue
+//	plan_witness_total, plan_rt_total,    adaptive-planner choice counters
+//	plan_explorations_total
+//	stream_publish_total{stream},         per-stream publish and match
+//	stream_matches_total{stream}          counters (server-side)
+//	snapshots_total, snapshot_errors_total, durable-mode snapshot activity
+//	snapshot_seconds                      and duration histogram
+
+// healthzTimeout bounds the /healthz barrier round-trip. A healthy pipeline
+// answers in microseconds; the deadline only has to be comfortably above a
+// worst-case Stage-2 drain.
+const healthzTimeout = 5 * time.Second
+
+// serverMetrics is the server's metric set. A nil *serverMetrics is valid
+// and records nothing, so the wire protocol works without the sidecar.
+type serverMetrics struct {
+	reg *obs.Registry
+
+	stage1, stage2, merge, gc *obs.Histogram
+	streamPub, streamMatches  *obs.CounterVec
+
+	snapshots, snapshotErrors *obs.Counter
+	snapshotSeconds           *obs.Histogram
+}
+
+// newServerMetrics builds the registry for eng. Engine-cumulative values
+// are read at scrape time; per-document histograms are fed by the
+// Options.OnDocument hook (see onDocument).
+func newServerMetrics(eng func() *mmqjp.Engine) *serverMetrics {
+	r := obs.NewRegistry()
+	m := &serverMetrics{reg: r}
+	r.CounterFunc("mmqjp_documents_total", "Documents admitted into the join state.",
+		func() float64 { return float64(eng().Stats().Documents) })
+	r.CounterFunc("mmqjp_matches_total", "Matches produced across all queries.",
+		func() float64 { return float64(eng().Stats().Matches) })
+	r.GaugeFunc("mmqjp_queries", "Live subscriptions.",
+		func() float64 { return float64(eng().NumQueries()) })
+	r.GaugeFunc("mmqjp_templates", "Live canonical query templates.",
+		func() float64 { return float64(eng().NumTemplates()) })
+	m.stage1 = r.Histogram("mmqjp_stage1_seconds",
+		"Per-document Stage-1 wall time (shared-NFA match, witness construction).", obs.DurationBuckets)
+	m.stage2 = r.Histogram("mmqjp_stage2_seconds",
+		"Per-document Stage-2 wall time (template-sharded join evaluation).", obs.DurationBuckets)
+	m.merge = r.Histogram("mmqjp_merge_seconds",
+		"Per-document state-merge wall time (Algorithm 2).", obs.DurationBuckets)
+	m.gc = r.Histogram("mmqjp_gc_seconds",
+		"Per-document window-GC wall time.", obs.DurationBuckets)
+	r.GaugeFunc("mmqjp_ingest_queue_depth", "Documents admitted into the continuous ingest pipeline but not yet consumed.",
+		func() float64 { return float64(eng().IngestQueueDepth()) })
+	r.CounterFunc("mmqjp_ingest_backpressure_stalls_total", "Pipeline admissions that blocked on a full admission queue.",
+		func() float64 { return float64(eng().IngestStalls()) })
+	r.CounterFunc("mmqjp_plan_witness_total", "Stage-2 plan decisions that chose the witness-driven plan.",
+		func() float64 { return float64(eng().Stats().WitnessPlans) })
+	r.CounterFunc("mmqjp_plan_rt_total", "Stage-2 plan decisions that chose the RT-driven plan.",
+		func() float64 { return float64(eng().Stats().RTPlans) })
+	r.CounterFunc("mmqjp_plan_explorations_total", "Calibration runs of the non-chosen Stage-2 plan.",
+		func() float64 { return float64(eng().Stats().Explorations) })
+	m.streamPub = r.CounterVec("mmqjp_stream_publish_total", "Documents published, by stream.", "stream")
+	m.streamMatches = r.CounterVec("mmqjp_stream_matches_total", "Matches triggered by publishes, by stream.", "stream")
+	m.snapshots = r.Counter("mmqjp_snapshots_total", "Snapshots saved to the durable store.")
+	m.snapshotErrors = r.Counter("mmqjp_snapshot_errors_total", "Snapshot saves that failed.")
+	m.snapshotSeconds = r.Histogram("mmqjp_snapshot_seconds", "Snapshot save duration.", obs.DurationBuckets)
+	return m
+}
+
+// onDocument is the Options.OnDocument hook: one histogram observation per
+// hot-path phase per document.
+func (m *serverMetrics) onDocument(t mmqjp.DocTimings) {
+	if m == nil {
+		return
+	}
+	m.stage1.Observe(t.Stage1.Seconds())
+	m.stage2.Observe(t.Stage2.Seconds())
+	m.merge.Observe(t.Merge.Seconds())
+	m.gc.Observe(t.GC.Seconds())
+}
+
+// published records documents entering and matches leaving one publish call.
+func (m *serverMetrics) published(stream string, docs, matches int) {
+	if m == nil {
+		return
+	}
+	m.streamPub.With(stream).Add(int64(docs))
+	m.streamMatches.With(stream).Add(int64(matches))
+}
+
+// snapshotSaved records one snapshot attempt.
+func (m *serverMetrics) snapshotSaved(d time.Duration, err error) {
+	if m == nil {
+		return
+	}
+	if err != nil {
+		m.snapshotErrors.Inc()
+		return
+	}
+	m.snapshots.Inc()
+	m.snapshotSeconds.Observe(d.Seconds())
+}
+
+// startDebugServer serves /metrics, /healthz and /debug/pprof on addr. It
+// returns the bound listener address (addr may use port 0).
+func (s *server) startDebugServer(addr string) (string, error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		s.m.reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		if err := s.eng.Ping(healthzTimeout); err != nil {
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	go func() {
+		if err := http.Serve(ln, mux); err != nil {
+			log.Printf("debug server: %v", err)
+		}
+	}()
+	return ln.Addr().String(), nil
+}

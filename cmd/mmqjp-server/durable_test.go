@@ -1,0 +1,196 @@
+package main
+
+import (
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	mmqjp "repro"
+)
+
+// startDurableServer runs the broker in durable mode against the given
+// store, restoring any snapshot it holds, and returns the address and the
+// server (for saveSnapshot and engine shutdown).
+func startDurableServer(t *testing.T, store mmqjp.Store) (string, *server) {
+	t.Helper()
+	s := &server{
+		durable: true,
+		store:   store,
+		owners:  map[mmqjp.QueryID]*client{},
+	}
+	if _, err := s.initEngine(mmqjp.Options{Processor: mmqjp.ProcessorViewMat}); err != nil {
+		t.Fatal(err)
+	}
+	addr := serveOn(t, s)
+	return addr, s
+}
+
+// serveOn accepts connections for s on an ephemeral port.
+func serveOn(t *testing.T, s *server) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close(); s.eng.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go s.serve(s.newClient(conn))
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// TestServerErrorCodes pins the stable machine-readable code on each error
+// class: clients are documented to dispatch on the first ERR token.
+func TestServerErrorCodes(t *testing.T) {
+	addr := startTestServer(t)
+	c := dialTest(t, addr)
+
+	for _, tc := range []struct {
+		req, code string
+	}{
+		{"NOSUCH verb", "EPROTO"},
+		{"PUB S", "EPROTO"},
+		{"PUB S notanumber <a/>", "EPROTO"},
+		{"PUBB S", "EPROTO"},
+		{"PUBB S notanumber", "EPROTO"},
+		{"PUBB S 9000000000", "ELIMIT"},
+		{"SUB not[valid", "EPARSE"},
+		{"PUB S 1 <unclosed>", "EPARSE"},
+		{"UNSUB notanumber", "EPROTO"},
+		{"UNSUB 4242", "EQUERY"},
+		{"CLAIM notanumber", "EPROTO"},
+		{"CLAIM 4242", "EQUERY"},
+	} {
+		c.sendLine(t, tc.req)
+		if got := c.readLine(t); !strings.HasPrefix(got, "ERR "+tc.code+" ") {
+			t.Errorf("%q -> %q, want ERR %s ...", tc.req, got, tc.code)
+		}
+	}
+}
+
+// TestServerDurableClaim covers the durable ownership lifecycle on one
+// running server: a disconnect orphans the subscription instead of removing
+// it, matches are withheld while orphaned, CLAIM re-attaches a new
+// connection, and the claim/unsub ownership rules hold.
+func TestServerDurableClaim(t *testing.T) {
+	addr, _ := startDurableServer(t, &mmqjp.MemStore{})
+
+	a := dialTest(t, addr)
+	a.sendLine(t, "SUB S//a->x FOLLOWED BY{x=y, 1000} S//b->y")
+	resp := a.readLine(t)
+	if !strings.HasPrefix(resp, "OK ") {
+		t.Fatalf("SUB -> %q", resp)
+	}
+	qid := strings.TrimPrefix(resp, "OK ")
+
+	// A second connection cannot claim or unsubscribe a live query.
+	b := dialTest(t, addr)
+	b.sendLine(t, "CLAIM "+qid)
+	if got := b.readLine(t); !strings.HasPrefix(got, "ERR EQUERY") {
+		t.Fatalf("foreign CLAIM -> %q, want ERR EQUERY", got)
+	}
+	// Claiming a query you already own is an idempotent OK.
+	a.sendLine(t, "CLAIM "+qid)
+	if got := a.readLine(t); got != "OK "+qid {
+		t.Fatalf("self CLAIM -> %q", got)
+	}
+
+	// Disconnect orphans the query: it survives in the engine with a nil
+	// owner. Poll UNSUB until dropClient (asynchronous to the close) has
+	// landed — the reply switches from "another connection" to the
+	// orphaned-query error, which also checks that UNSUB of an unclaimed
+	// query demands a CLAIM first.
+	a.conn.Close()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		b.sendLine(t, "UNSUB "+qid)
+		got := b.readLine(t)
+		if !strings.HasPrefix(got, "ERR EQUERY") {
+			t.Fatalf("UNSUB while unclaimed -> %q, want ERR EQUERY", got)
+		}
+		if strings.Contains(got, "CLAIM") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("disconnect never orphaned query %s: %q", qid, got)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// While orphaned, publishes still feed the query's join state but no
+	// MATCH is delivered anywhere.
+	b.sendLine(t, "PUB S 1 <a>k</a>")
+	if got := b.readLine(t); got != "OK 0" {
+		t.Fatalf("PUB while orphaned -> %q", got)
+	}
+
+	// CLAIM re-attaches; join state accumulated while orphaned is intact,
+	// so the pending <a> still joins with a new <b> and the MATCH goes to
+	// the claiming connection.
+	b.sendLine(t, "CLAIM "+qid)
+	if got := b.readLine(t); got != "OK "+qid {
+		t.Fatalf("CLAIM -> %q", got)
+	}
+	b.sendLine(t, "PUB S 2 <b>k</b>")
+	got1, got2 := b.readLine(t), b.readLine(t)
+	if !strings.Contains(got1+"\n"+got2, "MATCH "+qid+" left=1@1 right=2@2") {
+		t.Fatalf("no MATCH after CLAIM: %q %q", got1, got2)
+	}
+
+	// After claiming, the new owner may unsubscribe.
+	b.sendLine(t, "UNSUB "+qid)
+	if got := b.readLine(t); got != "OK "+qid {
+		t.Fatalf("UNSUB after CLAIM -> %q", got)
+	}
+}
+
+// TestServerDurableRestart is the restart-survival requirement: a snapshot
+// taken on one server instance restores on the next — every subscription
+// survives with its id, document ids resume above the snapshot's, and join
+// state spanning the restart still produces its matches.
+func TestServerDurableRestart(t *testing.T) {
+	store := &mmqjp.MemStore{}
+	addr1, s1 := startDurableServer(t, store)
+
+	c := dialTest(t, addr1)
+	c.sendLine(t, "SUB S//a->x FOLLOWED BY{x=y, 1000} S//b->y")
+	resp := c.readLine(t)
+	if !strings.HasPrefix(resp, "OK ") {
+		t.Fatalf("SUB -> %q", resp)
+	}
+	qid := strings.TrimPrefix(resp, "OK ")
+	c.sendLine(t, "PUB S 1 <a>k</a>")
+	if got := c.readLine(t); got != "OK 0" {
+		t.Fatalf("PUB -> %q", got)
+	}
+	if err := s1.saveSnapshot(); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Restart": a fresh server restores from the same store.
+	addr2, _ := startDurableServer(t, store)
+	c2 := dialTest(t, addr2)
+	// The restored subscription is orphaned until claimed.
+	c2.sendLine(t, "UNSUB "+qid)
+	if got := c2.readLine(t); !strings.HasPrefix(got, "ERR EQUERY") {
+		t.Fatalf("restored query not orphaned: UNSUB -> %q", got)
+	}
+	c2.sendLine(t, "CLAIM "+qid)
+	if got := c2.readLine(t); got != "OK "+qid {
+		t.Fatalf("CLAIM restored query -> %q", got)
+	}
+	// The pre-restart <a> joins a post-restart <b>: windowed state crossed
+	// the restart, and the new document's id resumed above the snapshot's
+	// (left=1, right=2 — not a reused id 1).
+	c2.sendLine(t, "PUB S 2 <b>k</b>")
+	got1, got2 := c2.readLine(t), c2.readLine(t)
+	if !strings.Contains(got1+"\n"+got2, "MATCH "+qid+" left=1@1 right=2@2") {
+		t.Fatalf("join state lost across restart: %q %q", got1, got2)
+	}
+}

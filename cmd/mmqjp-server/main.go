@@ -5,12 +5,21 @@
 //
 // Protocol (one request per line):
 //
-//	SUB <xscl-query>             -> OK <qid> | ERR <message>
-//	UNSUB <qid>                  -> OK <qid> | ERR <message>
-//	PUB <stream> <ts> <xml>      -> OK <matches> | ERR <message>
-//	PUBB <stream> <n>            -> OK <total matches> | ERR <message>
+//	SUB <xscl-query>             -> OK <qid> | ERR <code> <message>
+//	UNSUB <qid>                  -> OK <qid> | ERR <code> <message>
+//	CLAIM <qid>                  -> OK <qid> | ERR <code> <message>
+//	PUB <stream> <ts> <xml>      -> OK <matches> | ERR <code> <message>
+//	PUBB <stream> <n>            -> OK <total matches> | ERR <code> <message>
 //	STATS                        -> OK <engine stats>
 //	QUIT                         -> closes the connection
+//
+// Error replies carry a stable machine-readable code as their first token
+// (the human-readable message may change between releases):
+//
+//	EPROTO  malformed request (usage, unknown verb, bad field)
+//	EPARSE  query or document text did not parse
+//	EQUERY  unknown query id, or an ownership/claim violation
+//	ELIMIT  a size limit was exceeded (line length, batch count)
 //
 // A request line may be at most 1 MB; an over-long line is consumed whole,
 // answered with an ERR, and the connection stays usable (it is not silently
@@ -23,12 +32,27 @@
 // the whole batch after the announced lines are consumed; no document of a
 // rejected batch is published.
 //
-// UNSUB removes a subscription; only the connection that registered a query
-// may unsubscribe it. The engine reclaims everything the query no longer
-// shares with surviving subscriptions (refcounted canonical templates, query
-// relations, view-cache entries). A subscription lives at most as long as
-// its connection: disconnecting unsubscribes all of the connection's
-// queries.
+// UNSUB removes a subscription; only the connection that registered (or
+// claimed) a query may unsubscribe it. The engine reclaims everything the
+// query no longer shares with surviving subscriptions (refcounted canonical
+// templates, query relations, view-cache entries). Without -snapshot-path a
+// subscription lives at most as long as its connection: disconnecting
+// unsubscribes all of the connection's queries.
+//
+// With -snapshot-path the server is durable: subscriptions survive both
+// client disconnects and server restarts. A disconnect orphans the client's
+// queries (they keep accumulating join state; their matches are simply not
+// delivered) and a reconnecting client re-attaches with CLAIM <qid>, which
+// also reclaims queries restored from a snapshot. The engine — every
+// subscription plus the windowed join state — is snapshotted to the given
+// file atomically (write-temp + rename) every -snapshot-every interval and
+// on SIGINT/SIGTERM; on startup an existing snapshot is restored and
+// publishing resumes exactly where the stream left off, with document ids
+// continuing above the highest admitted id.
+//
+// -debug-addr starts an HTTP observability sidecar with /metrics
+// (Prometheus text), /healthz (ingest-pipeline liveness under a deadline)
+// and /debug/pprof; see debug.go for the metric set.
 //
 // With -async, PUB requests are routed through the engine's continuous
 // ingest pipeline (Engine.PublishAsync): the connection handler admits the
@@ -58,16 +82,21 @@ package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"net"
+	"os"
+	"os/signal"
 	"runtime"
 	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"syscall"
+	"time"
 
 	mmqjp "repro"
 )
@@ -84,11 +113,29 @@ const maxLineBytes = 1 << 20
 type server struct {
 	eng     *mmqjp.Engine
 	async   bool // route PUB through the continuous ingest pipeline
+	durable bool // -snapshot-path set: disconnects orphan instead of unsubscribing
+	store   mmqjp.Store
+	m       *serverMetrics // nil without -debug-addr: all methods no-op
 	nextDoc atomic.Int64
 
 	mu sync.Mutex
-	// owners maps a query to the connection that subscribed it.
+	// owners maps a query to the connection that subscribed (or claimed)
+	// it. In durable mode a nil owner marks an orphaned subscription —
+	// alive in the engine, matches undelivered until a CLAIM.
 	owners map[mmqjp.QueryID]*client
+}
+
+// Stable error codes, the first token of every ERR reply.
+const (
+	errProto = "EPROTO" // malformed request
+	errParse = "EPARSE" // query/document text did not parse
+	errQuery = "EQUERY" // unknown id or ownership violation
+	errLimit = "ELIMIT" // size limit exceeded
+)
+
+// replyErr answers one request with a coded error.
+func (s *server) replyErr(c *client, code, msg string) {
+	s.reply(c, "ERR "+code+" "+msg)
 }
 
 type client struct {
@@ -110,6 +157,7 @@ type client struct {
 
 type pendingReply struct {
 	matches <-chan []mmqjp.Match // nil for an immediate reply
+	stream  string               // with matches: the published stream, for metrics
 	line    string               // the reply when matches and eval are nil
 	eval    func() string        // computed at the reply's slot (STATS)
 }
@@ -133,6 +181,7 @@ func (s *server) newClient(conn net.Conn) *client {
 				switch {
 				case p.matches != nil:
 					ms := <-p.matches
+					s.m.published(p.stream, 1, len(ms))
 					s.deliver(ms)
 					c.send(fmt.Sprintf("OK %d", len(ms)))
 				case p.eval != nil:
@@ -175,6 +224,9 @@ func main() {
 	async := flag.Bool("async", false, "route PUB through the continuous async ingest pipeline")
 	planName := flag.String("plan", "auto", "Stage-2 physical plan: auto (adaptive), witness, or rt (forced ablations)")
 	explore := flag.Int("explore", 64, "with -plan auto, run the non-chosen plan on ~1/N of plan decisions to calibrate the cost model (0 disables)")
+	debugAddr := flag.String("debug-addr", "", "HTTP observability listener (/metrics, /healthz, /debug/pprof); empty disables")
+	snapPath := flag.String("snapshot-path", "", "durable mode: snapshot file to restore on start and save on shutdown; empty disables")
+	snapEvery := flag.Duration("snapshot-every", 0, "with -snapshot-path, also snapshot at this interval (0 = only on shutdown)")
 	flag.Parse()
 
 	kind := mmqjp.ProcessorMMQJP
@@ -186,12 +238,54 @@ func main() {
 		log.Fatalf("mmqjp-server: %v", err)
 	}
 	s := &server{
-		eng: mmqjp.New(mmqjp.Options{
-			Processor: kind, Parallelism: *workers, PipelineDepth: *pipeline,
-			Plan: plan, PlanExploreEvery: *explore,
-		}),
-		async:  *async,
-		owners: map[mmqjp.QueryID]*client{},
+		async:   *async,
+		durable: *snapPath != "",
+		owners:  map[mmqjp.QueryID]*client{},
+	}
+	if *debugAddr != "" {
+		s.m = newServerMetrics(func() *mmqjp.Engine { return s.eng })
+	}
+	opts := mmqjp.Options{
+		Processor: kind, Parallelism: *workers, PipelineDepth: *pipeline,
+		Plan: plan, PlanExploreEvery: *explore,
+	}
+	if s.m != nil {
+		opts.OnDocument = s.m.onDocument
+	}
+	if s.durable {
+		s.store = mmqjp.NewFileStore(*snapPath)
+	}
+	restored, err := s.initEngine(opts)
+	if err != nil {
+		log.Fatalf("mmqjp-server: restore %s: %v", *snapPath, err)
+	}
+	if restored > 0 {
+		log.Printf("mmqjp-server: restored %d subscriptions from %s", restored, *snapPath)
+	}
+	if *debugAddr != "" {
+		dbg, err := s.startDebugServer(*debugAddr)
+		if err != nil {
+			log.Fatalf("mmqjp-server: debug listener: %v", err)
+		}
+		log.Printf("mmqjp-server debug endpoints on http://%s", dbg)
+	}
+	if s.durable {
+		if *snapEvery > 0 {
+			go func() {
+				for range time.Tick(*snapEvery) {
+					s.saveSnapshot()
+				}
+			}()
+		}
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		go func() {
+			<-sig
+			if err := s.saveSnapshot(); err != nil {
+				os.Exit(1)
+			}
+			os.Exit(0)
+		}()
 	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -206,6 +300,45 @@ func main() {
 		}
 		go s.serve(s.newClient(conn))
 	}
+}
+
+// initEngine creates the server's engine: in durable mode an existing
+// snapshot in s.store is restored — its subscriptions start orphaned (nil
+// owner) until a CLAIM re-attaches them, and document ids resume above
+// everything the snapshot had admitted — while a missing snapshot
+// (ErrNoSnapshot) falls back to a fresh engine. Returns how many
+// subscriptions were restored.
+func (s *server) initEngine(opts mmqjp.Options) (restored int, err error) {
+	if s.durable {
+		eng, err := mmqjp.OpenEngineFrom(s.store, opts)
+		switch {
+		case err == nil:
+			s.eng = eng
+			for _, qid := range eng.Subscriptions() {
+				s.owners[qid] = nil
+			}
+			s.nextDoc.Store(eng.MaxDocID())
+			return eng.NumQueries(), nil
+		case !errors.Is(err, mmqjp.ErrNoSnapshot):
+			return 0, err
+		}
+	}
+	s.eng = mmqjp.New(opts)
+	return 0, nil
+}
+
+// saveSnapshot writes the engine snapshot into the durable store. The
+// snapshot lands at an ingest barrier (a consistent admission-order prefix)
+// and replaces the previous file atomically, so a crash at any point leaves
+// a restartable snapshot behind.
+func (s *server) saveSnapshot() error {
+	start := time.Now()
+	err := s.eng.SnapshotTo(s.store)
+	s.m.snapshotSaved(time.Since(start), err)
+	if err != nil {
+		log.Printf("mmqjp-server: snapshot: %v", err)
+	}
+	return err
 }
 
 // readLine reads one newline-terminated line from r, retaining at most max
@@ -263,7 +396,7 @@ func (s *server) serve(c *client) {
 			return
 		}
 		if tooLong {
-			s.reply(c, fmt.Sprintf("ERR line exceeds %d bytes", maxLineBytes))
+			s.replyErr(c, errLimit, fmt.Sprintf("line exceeds %d bytes", maxLineBytes))
 			continue
 		}
 		line = strings.TrimSpace(line)
@@ -276,6 +409,8 @@ func (s *server) serve(c *client) {
 			s.handleSub(c, rest)
 		case "UNSUB":
 			s.handleUnsub(c, rest)
+		case "CLAIM":
+			s.handleClaim(c, rest)
 		case "PUB":
 			s.handlePub(c, rest)
 		case "PUBB":
@@ -283,11 +418,11 @@ func (s *server) serve(c *client) {
 		case "STATS":
 			// Evaluated at the reply's position in the queue, so an async
 			// STATS reflects the publishes acknowledged before it.
-			s.replyEval(c, func() string { return "OK " + s.eng.Stats() })
+			s.replyEval(c, func() string { return "OK " + s.eng.Stats().String() })
 		case "QUIT":
 			return
 		default:
-			s.reply(c, "ERR unknown verb "+verb)
+			s.replyErr(c, errProto, "unknown verb "+verb)
 		}
 	}
 }
@@ -305,10 +440,39 @@ func (s *server) handleSub(c *client, src string) {
 	}
 	s.mu.Unlock()
 	if err != nil {
-		s.reply(c, "ERR "+err.Error())
+		s.replyErr(c, errParse, err.Error())
 		return
 	}
 	s.reply(c, fmt.Sprintf("OK %d", id))
+}
+
+// handleClaim re-attaches the requesting connection to an orphaned durable
+// subscription — one restored from a snapshot, or left behind by its
+// owner's disconnect. Claiming a query you already own is an idempotent OK;
+// claiming another live connection's query is refused.
+func (s *server) handleClaim(c *client, rest string) {
+	id, err := strconv.ParseInt(strings.TrimSpace(rest), 10, 64)
+	if err != nil {
+		s.replyErr(c, errProto, "usage: CLAIM <qid>")
+		return
+	}
+	qid := mmqjp.QueryID(id)
+	s.mu.Lock()
+	owner, ok := s.owners[qid]
+	switch {
+	case !ok:
+		err = fmt.Errorf("unknown query %d", qid)
+	case owner != nil && owner != c:
+		err = fmt.Errorf("query %d belongs to another connection", qid)
+	default:
+		s.owners[qid] = c
+	}
+	s.mu.Unlock()
+	if err != nil {
+		s.replyErr(c, errQuery, err.Error())
+		return
+	}
+	s.reply(c, fmt.Sprintf("OK %d", qid))
 }
 
 // handleUnsub removes a subscription owned by the requesting connection.
@@ -318,7 +482,7 @@ func (s *server) handleSub(c *client, src string) {
 func (s *server) handleUnsub(c *client, rest string) {
 	id, err := strconv.ParseInt(strings.TrimSpace(rest), 10, 64)
 	if err != nil {
-		s.reply(c, "ERR usage: UNSUB <qid>")
+		s.replyErr(c, errProto, "usage: UNSUB <qid>")
 		return
 	}
 	qid := mmqjp.QueryID(id)
@@ -327,6 +491,8 @@ func (s *server) handleUnsub(c *client, rest string) {
 	switch {
 	case !ok:
 		err = fmt.Errorf("unknown query %d", qid)
+	case owner == nil:
+		err = fmt.Errorf("query %d is unclaimed; CLAIM it first", qid)
 	case owner != c:
 		err = fmt.Errorf("query %d belongs to another connection", qid)
 	default:
@@ -336,20 +502,26 @@ func (s *server) handleUnsub(c *client, rest string) {
 	}
 	s.mu.Unlock()
 	if err != nil {
-		s.reply(c, "ERR "+err.Error())
+		s.replyErr(c, errQuery, err.Error())
 		return
 	}
 	s.reply(c, fmt.Sprintf("OK %d", qid))
 }
 
-// dropClient unsubscribes every query owned by a disconnecting client.
-// Lock order matches handleSub/handleUnsub: s.mu is taken first, the engine
-// lock inside it.
+// dropClient releases every query owned by a disconnecting client: in
+// durable mode the queries are orphaned (kept alive in the engine, matches
+// undelivered until a CLAIM re-attaches them); otherwise they are
+// unsubscribed. Lock order matches handleSub/handleUnsub: s.mu is taken
+// first, the engine lock inside it.
 func (s *server) dropClient(c *client) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for qid, owner := range s.owners {
 		if owner != c {
+			continue
+		}
+		if s.durable {
+			s.owners[qid] = nil
 			continue
 		}
 		if err := s.eng.Unsubscribe(qid); err != nil {
@@ -363,12 +535,12 @@ func (s *server) handlePub(c *client, rest string) {
 	stream, rest, ok1 := cut(rest)
 	tsText, xmlText, ok2 := cut(rest)
 	if !ok1 || !ok2 {
-		s.reply(c, "ERR usage: PUB <stream> <ts> <xml>")
+		s.replyErr(c, errProto, "usage: PUB <stream> <ts> <xml>")
 		return
 	}
 	ts, err := strconv.ParseInt(tsText, 10, 64)
 	if err != nil {
-		s.reply(c, "ERR bad timestamp: "+err.Error())
+		s.replyErr(c, errProto, "bad timestamp: "+err.Error())
 		return
 	}
 	docID := s.nextDoc.Add(1)
@@ -379,17 +551,18 @@ func (s *server) handlePub(c *client, rest string) {
 		// next request while this document's Stage 1 runs.
 		d, err := mmqjp.ParseDocument(xmlText, docID, ts)
 		if err != nil {
-			s.reply(c, "ERR "+err.Error())
+			s.replyErr(c, errParse, err.Error())
 			return
 		}
-		c.pending <- pendingReply{matches: s.eng.PublishAsync(stream, d)}
+		c.pending <- pendingReply{matches: s.eng.PublishAsync(stream, d), stream: stream}
 		return
 	}
 	matches, err := s.eng.PublishXML(stream, xmlText, docID, ts)
 	if err != nil {
-		s.reply(c, "ERR "+err.Error())
+		s.replyErr(c, errParse, err.Error())
 		return
 	}
+	s.m.published(stream, 1, len(matches))
 	s.deliver(matches)
 	s.reply(c, fmt.Sprintf("OK %d", len(matches)))
 }
@@ -405,27 +578,32 @@ const maxBatchDocs = 65536
 func (s *server) handlePubBatch(c *client, rd *bufio.Reader, rest string) {
 	stream, nText, ok := cut(rest)
 	if !ok || nText == "" {
-		s.reply(c, "ERR usage: PUBB <stream> <n>, then n lines of <ts> <xml>")
+		s.replyErr(c, errProto, "usage: PUBB <stream> <n>, then n lines of <ts> <xml>")
 		return
 	}
 	n, err := strconv.Atoi(nText)
-	if err != nil || n < 0 || n > maxBatchDocs {
-		s.reply(c, fmt.Sprintf("ERR bad batch count %s (max %d)", nText, maxBatchDocs))
+	if err != nil || n < 0 {
+		s.replyErr(c, errProto, "bad batch count "+nText)
+		return
+	}
+	if n > maxBatchDocs {
+		s.replyErr(c, errLimit, fmt.Sprintf("batch count %d exceeds %d", n, maxBatchDocs))
 		return
 	}
 	events := make([]mmqjp.XMLEvent, 0, n)
-	badLine := ""
+	badLine, badCode := "", ""
 	for i := 0; i < n; i++ {
 		// Consume every announced line even after an error, so the
 		// connection stays line-synchronized.
 		line, tooLong, err := readLine(rd, maxLineBytes)
 		if err != nil {
-			s.reply(c, "ERR truncated batch")
+			s.replyErr(c, errProto, "truncated batch")
 			return
 		}
 		if tooLong {
 			if badLine == "" {
 				badLine = fmt.Sprintf("batch document %d exceeds %d bytes", i+1, maxLineBytes)
+				badCode = errLimit
 			}
 			continue
 		}
@@ -434,13 +612,14 @@ func (s *server) handlePubBatch(c *client, rd *bufio.Reader, rest string) {
 		if !ok || xmlText == "" || perr != nil {
 			if badLine == "" {
 				badLine = fmt.Sprintf("bad batch document %d: want <ts> <xml>", i+1)
+				badCode = errProto
 			}
 			continue
 		}
 		events = append(events, mmqjp.XMLEvent{XML: xmlText, DocID: s.nextDoc.Add(1), Timestamp: ts})
 	}
 	if badLine != "" {
-		s.reply(c, "ERR "+badLine)
+		s.replyErr(c, badCode, badLine)
 		return
 	}
 	if c.pending != nil {
@@ -452,7 +631,7 @@ func (s *server) handlePubBatch(c *client, rd *bufio.Reader, rest string) {
 	}
 	batches, err := s.eng.PublishXMLBatch(stream, events)
 	if err != nil {
-		s.reply(c, "ERR "+err.Error())
+		s.replyErr(c, errParse, err.Error())
 		return
 	}
 	total := 0
@@ -460,6 +639,7 @@ func (s *server) handlePubBatch(c *client, rd *bufio.Reader, rest string) {
 		total += len(matches)
 		s.deliver(matches)
 	}
+	s.m.published(stream, len(events), total)
 	s.reply(c, fmt.Sprintf("OK %d", total))
 }
 

@@ -55,6 +55,21 @@
 // member leaves. Draining every subscription returns the engine to its
 // initial state; ids are never reused.
 //
+// PublishDoc is the general ingestion entrypoint, covering every
+// combination of input form and delivery through options (WithDocs,
+// WithXML, WithXMLEvents, WithAsync); the named Publish variants are thin
+// wrappers over it. Engine.Stats returns a structured EngineStats snapshot
+// (JSON-marshalable; String renders the traditional one-line form), and
+// Options.OnDocument delivers per-document stage timings for external
+// metrics.
+//
+// Engines are durable: Snapshot serializes the subscription set and the
+// windowed join state at an ingest barrier (an exact admission-order prefix
+// of the stream), and OpenEngine restores an engine that continues the
+// stream byte-identically to one that never restarted. The Store interface
+// (MemStore, FileStore) wraps snapshot transport; FileStore replaces its
+// file atomically. See DESIGN.md "Observability & durability".
+//
 // # Quick start
 //
 //	eng := mmqjp.New(mmqjp.Options{Processor: mmqjp.ProcessorViewMat})

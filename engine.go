@@ -105,7 +105,17 @@ type Options struct {
 	// depth; per-Publish calls are unaffected. Ignored by
 	// ProcessorSequential.
 	PipelineDepth int
+	// OnDocument, when set, is called once per processed document with its
+	// hot-path wall times, after the document has been fully consumed —
+	// the hook observability wiring (histograms) hangs on. It runs on the
+	// document's consuming goroutine and must be fast and non-blocking.
+	// Ignored by ProcessorSequential.
+	OnDocument func(DocTimings)
 }
+
+// DocTimings is one document's hot-path wall-time breakdown, delivered to
+// Options.OnDocument.
+type DocTimings = core.DocTimings
 
 // MaxCompositionDepth bounds cascading through PUBLISH streams, guarding
 // against cyclic query networks.
@@ -181,6 +191,7 @@ func New(opts Options) *Engine {
 			PlanExploreSeed:     opts.PlanExploreSeed,
 			Workers:             opts.Parallelism,
 			PipelineDepth:       opts.PipelineDepth,
+			OnDocument:          opts.OnDocument,
 		})
 	}
 	return e
@@ -329,6 +340,21 @@ func (e *Engine) NumQueries() int {
 	return e.numQueries
 }
 
+// Subscriptions returns the ids of all live subscriptions in ascending
+// order — what a durable server iterates to rebuild its ownership table
+// after OpenEngine.
+func (e *Engine) Subscriptions() []QueryID {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	out := make([]QueryID, 0, e.numQueries)
+	for id, q := range e.queries {
+		if q != nil {
+			out = append(out, QueryID(id))
+		}
+	}
+	return out
+}
+
 // NumTemplates returns the number of distinct query templates maintained by
 // the join processor (0 in sequential mode, where there is no sharing).
 func (e *Engine) NumTemplates() int {
@@ -345,7 +371,14 @@ func (e *Engine) NumTemplates() int {
 // PUBLISH queries cascade into their output streams and the derived matches
 // are included in the result. Concurrent Publish calls are serialized;
 // documents enter the join state in lock-acquisition order.
+//
+// Publish is shorthand for PublishDoc(stream, d); the PublishDoc options
+// cover batches, raw XML, and pipeline admission.
 func (e *Engine) Publish(stream string, d *Document) []Match {
+	return e.publishOne(stream, d)
+}
+
+func (e *Engine) publishOne(stream string, d *Document) []Match {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return e.publish(stream, d, 0)
@@ -420,7 +453,13 @@ func (e *Engine) cascade(out []Match, depth int) []Match {
 // the state merge, and window GC are applied strictly in arrival order, so
 // join state and window semantics are identical to the sequential path.
 // Like Publish, the whole batch is serialized against other writers.
+//
+// PublishBatch is shorthand for PublishDoc(stream, nil, WithDocs(docs...)).
 func (e *Engine) PublishBatch(stream string, docs []*Document) [][]Match {
+	return e.publishMany(stream, docs)
+}
+
+func (e *Engine) publishMany(stream string, docs []*Document) [][]Match {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	out := make([][]Match, len(docs))
@@ -465,7 +504,13 @@ func (e *Engine) PublishBatch(stream string, docs []*Document) [][]Match {
 // ProcessorSequential (no Stage-1/Stage-2 split), or after Close, the
 // document is published synchronously and the channel is already resolved
 // on return.
+//
+// PublishAsync is shorthand for PublishDoc(stream, d, WithAsync()).
 func (e *Engine) PublishAsync(stream string, d *Document) <-chan []Match {
+	return e.publishAsync(stream, d)
+}
+
+func (e *Engine) publishAsync(stream string, d *Document) <-chan []Match {
 	out := make(chan []Match, 1)
 	if e.proc == nil {
 		out <- e.Publish(stream, d)
@@ -501,6 +546,31 @@ func (e *Engine) ingestPipeline() *core.Ingest {
 		e.ing = core.NewIngest(e.proc, core.IngestConfig{Depth: e.opts.PipelineDepth, Lock: &e.mu})
 	}
 	return e.ing
+}
+
+// IngestQueueDepth reports the number of documents admitted into the
+// continuous ingest pipeline but not yet consumed — an instantaneous sample
+// of the admission queue (0 when the pipeline has never started).
+func (e *Engine) IngestQueueDepth() int {
+	e.ingestMu.Lock()
+	ing := e.ing
+	e.ingestMu.Unlock()
+	if ing == nil {
+		return 0
+	}
+	return ing.QueueDepth()
+}
+
+// IngestStalls reports how many PublishAsync admissions have blocked on a
+// full admission queue (backpressure) since the pipeline started.
+func (e *Engine) IngestStalls() int64 {
+	e.ingestMu.Lock()
+	ing := e.ing
+	e.ingestMu.Unlock()
+	if ing == nil {
+		return 0
+	}
+	return ing.Stalls()
 }
 
 // Flush blocks until every document admitted by PublishAsync before the
@@ -543,34 +613,20 @@ type XMLEvent struct {
 // PublishXMLBatch parses a batch of XML documents and publishes them in
 // order via PublishBatch. Parsing runs concurrently (bounded by
 // Options.PipelineDepth) before the batch enters the engine; a parse error
-// on any document fails the whole batch without publishing anything.
+// on any document fails the whole batch with a *DocumentError without
+// publishing anything.
+//
+// PublishXMLBatch is shorthand for
+// PublishDoc(stream, nil, WithXMLEvents(events...)).
 func (e *Engine) PublishXMLBatch(stream string, events []XMLEvent) ([][]Match, error) {
-	docs := make([]*Document, len(events))
-	errs := make([]error, len(events))
-	if depth := e.opts.PipelineDepth; depth > 1 && len(events) > 1 {
-		sem := make(chan struct{}, depth)
-		var wg sync.WaitGroup
-		for i := range events {
-			sem <- struct{}{}
-			wg.Add(1)
-			go func(i int) {
-				defer wg.Done()
-				defer func() { <-sem }()
-				docs[i], errs[i] = ParseDocument(events[i].XML, events[i].DocID, events[i].Timestamp)
-			}(i)
-		}
-		wg.Wait()
-	} else {
-		for i, ev := range events {
-			docs[i], errs[i] = ParseDocument(ev.XML, ev.DocID, ev.Timestamp)
-		}
+	res, err := e.PublishDoc(stream, nil, WithXMLEvents(events...))
+	if err != nil {
+		return nil, err
 	}
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("document %d (id %d): %w", i, events[i].DocID, err)
-		}
+	if res.Batches == nil {
+		res.Batches = make([][]Match, 0)
 	}
-	return e.PublishBatch(stream, docs), nil
+	return res.Batches, nil
 }
 
 // DroppedCascades reports derived documents discarded at the composition
@@ -621,13 +677,17 @@ func copySubtree(b *xmldoc.Builder, parent xmldoc.NodeID, src *xmldoc.Document, 
 	}
 }
 
-// PublishXML parses an XML document and publishes it.
+// PublishXML parses an XML document and publishes it. A parse failure is
+// reported as a *DocumentError, the same contract as PublishXMLBatch.
+//
+// PublishXML is shorthand for
+// PublishDoc(stream, nil, WithXML(xmlText, docID, timestamp)).
 func (e *Engine) PublishXML(stream, xmlText string, docID, timestamp int64) ([]Match, error) {
-	d, err := xmldoc.ParseString(xmlText, xmldoc.DocID(docID), xmldoc.Timestamp(timestamp))
+	res, err := e.PublishDoc(stream, nil, WithXML(xmlText, docID, timestamp))
 	if err != nil {
 		return nil, err
 	}
-	return e.Publish(stream, d), nil
+	return res.Matches(), nil
 }
 
 // OutputXML renders the default SELECT * output document of a match: a new
@@ -649,20 +709,6 @@ func (e *Engine) OutputXML(m Match) (xml string, ok bool) {
 	}
 	sb.WriteString("</result>")
 	return sb.String(), true
-}
-
-// Stats returns a human-readable summary of processing cost so far.
-func (e *Engine) Stats() string {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	if e.seq != nil {
-		return fmt.Sprintf("sequential: %d queries, join time %v", e.seq.NumQueries(), e.seq.JoinTime())
-	}
-	s := e.proc.Stats()
-	return fmt.Sprintf("mmqjp: %d queries, %d templates, %d docs, %d matches, xpath %v, witness %v, rvj %v, rl %v, rr %v, cq %v, maintain %v, stage1 %v, stage2 %v, plans witness=%d rt=%d explore=%d",
-		e.proc.NumQueries(), e.proc.NumTemplates(), s.Documents, s.Matches,
-		s.XPath, s.Witness, s.Rvj, s.RL, s.RR, s.CQ, s.Maintain, s.Stage1Wall, s.Stage2Wall,
-		s.WitnessPlans, s.RTPlans, s.Explorations)
 }
 
 // TemplatePlanStats is one query template's adaptive-planner snapshot: the

@@ -1,6 +1,7 @@
 package mmqjp
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -101,8 +102,32 @@ func TestEngineStatsString(t *testing.T) {
 		eng.MustSubscribe(paperQ1)
 		eng.PublishXML("S", paperD1, 1, 100)
 		eng.PublishXML("S", paperD2, 2, 200)
-		if s := eng.Stats(); s == "" {
+		s := eng.Stats()
+		if s.String() == "" {
 			t.Errorf("kind=%d: empty stats", kind)
+		}
+		if s.Queries != 1 {
+			t.Errorf("kind=%d: queries = %d, want 1", kind, s.Queries)
+		}
+		if s.Documents != 2 {
+			t.Errorf("kind=%d: documents = %d, want 2", kind, s.Documents)
+		}
+		if s.Matches < 1 {
+			t.Errorf("kind=%d: matches = %d, want >= 1", kind, s.Matches)
+		}
+		if s.Sequential != (kind == ProcessorSequential) {
+			t.Errorf("kind=%d: sequential flag = %v", kind, s.Sequential)
+		}
+		b, err := json.Marshal(s)
+		if err != nil {
+			t.Fatalf("kind=%d: marshal stats: %v", kind, err)
+		}
+		var round EngineStats
+		if err := json.Unmarshal(b, &round); err != nil {
+			t.Fatalf("kind=%d: unmarshal stats: %v", kind, err)
+		}
+		if round != s {
+			t.Errorf("kind=%d: stats JSON round-trip mismatch:\n got %+v\nwant %+v", kind, round, s)
 		}
 	}
 }

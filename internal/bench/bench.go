@@ -14,6 +14,7 @@ import (
 	"sync"
 	"time"
 
+	mmqjp "repro"
 	"repro/internal/core"
 	"repro/internal/sequential"
 	"repro/internal/workload"
@@ -45,12 +46,18 @@ func (m Mode) String() string {
 }
 
 // Result is one experiment's output table. The JSON form is what
-// cmd/mmqjp-bench -json writes and cmd/benchdiff compares.
+// cmd/mmqjp-bench -json writes and cmd/benchdiff compares (benchdiff reads
+// only Columns/Rows; Stats rides along for monitoring pipelines).
 type Result struct {
 	ID      string     `json:"id"` // "fig8", "table3", ...
 	Title   string     `json:"title"`
 	Columns []string   `json:"columns"`
 	Rows    [][]string `json:"rows"`
+	// Stats is the structured engine-stats snapshot of the experiment's
+	// final (largest) engine run, in the same mmqjp.EngineStats schema the
+	// server's STATS reply and /metrics endpoint report — one schema for
+	// every stats consumer. Nil for experiments with no full engine pass.
+	Stats *mmqjp.EngineStats `json:"stats,omitempty"`
 }
 
 // String renders the result as an aligned text table.
@@ -362,22 +369,23 @@ func Fig16(o Options) Result {
 		srng := rand.New(rand.NewSource(o.Seed + 7))
 		stream := c.Stream(srng, o.RSSItems)
 
-		vm := rssThroughput(qs, stream, ModeViewMat)
-		basic := rssThroughput(qs, stream, ModeMMQJP)
+		vm, vmStats := rssThroughput(qs, stream, ModeViewMat)
+		basic, _ := rssThroughput(qs, stream, ModeMMQJP)
 		seqStream := stream
 		if len(seqStream) > o.SeqRSSItems {
 			seqStream = seqStream[:o.SeqRSSItems]
 		}
-		seq := rssThroughput(qs, seqStream, ModeSequential)
+		seq, _ := rssThroughput(qs, seqStream, ModeSequential)
 		res.Rows = append(res.Rows, []string{
 			fmt.Sprint(nq), f(vm), f(basic), f(seq), fmt.Sprint(len(seqStream))})
+		res.Stats = vmStats
 	}
 	return res
 }
 
 // rssThroughput returns events/second of Stage-2 join processing over the
-// stream.
-func rssThroughput(qs []*xscl.Query, stream []*xmldoc.Document, mode Mode) float64 {
+// stream, plus the run's structured stats (nil for sequential).
+func rssThroughput(qs []*xscl.Query, stream []*xmldoc.Document, mode Mode) (float64, *mmqjp.EngineStats) {
 	if mode == ModeSequential {
 		p := sequential.NewProcessor()
 		for _, q := range qs {
@@ -386,7 +394,7 @@ func rssThroughput(qs []*xscl.Query, stream []*xmldoc.Document, mode Mode) float
 		for _, d := range stream {
 			p.Process("S", d)
 		}
-		return perSecond(len(stream), p.JoinTime())
+		return perSecond(len(stream), p.JoinTime()), nil
 	}
 	p := core.NewProcessor(core.Config{ViewMaterialization: mode == ModeViewMat})
 	for _, q := range qs {
@@ -396,7 +404,32 @@ func rssThroughput(qs []*xscl.Query, stream []*xmldoc.Document, mode Mode) float
 		p.Process("S", d)
 	}
 	s := p.Stats()
-	return perSecond(len(stream), s.Rvj+s.RL+s.RR+s.CQ)
+	return perSecond(len(stream), s.Rvj+s.RL+s.RR+s.CQ), engineStats(p)
+}
+
+// engineStats converts a processor's accumulated core.Stats into the public
+// structured form that Result.Stats carries.
+func engineStats(p *core.Processor) *mmqjp.EngineStats {
+	s := p.Stats()
+	return &mmqjp.EngineStats{
+		Queries:      p.NumQueries(),
+		Templates:    p.NumTemplates(),
+		Documents:    s.Documents,
+		Matches:      s.Matches,
+		XPath:        s.XPath,
+		Witness:      s.Witness,
+		Rvj:          s.Rvj,
+		RL:           s.RL,
+		RR:           s.RR,
+		CQ:           s.CQ,
+		Maintain:     s.Maintain,
+		Stage1Wall:   s.Stage1Wall,
+		Stage2Wall:   s.Stage2Wall,
+		ExploreWall:  s.ExploreWall,
+		WitnessPlans: s.WitnessPlans,
+		RTPlans:      s.RTPlans,
+		Explorations: s.Explorations,
+	}
 }
 
 func perSecond(n int, d time.Duration) float64 {
@@ -423,16 +456,17 @@ func WorkersSweep(o Options) Result {
 		Title:   fmt.Sprintf("Stage-2 throughput vs workers (%d queries, %d items)", o.Queries, len(stream)),
 		Columns: []string{"workers", "MMQJP (ev/s)", "MMQJP+ViewMat (ev/s)", "templates"}}
 	for _, nw := range o.WorkerCounts {
-		basic, ntmpl := stage2Throughput(qs, stream, ModeMMQJP, nw)
-		vm, _ := stage2Throughput(qs, stream, ModeViewMat, nw)
-		res.Rows = append(res.Rows, []string{fmt.Sprint(nw), f(basic), f(vm), fmt.Sprint(ntmpl)})
+		basic, bp := stage2Throughput(qs, stream, ModeMMQJP, nw)
+		vm, vp := stage2Throughput(qs, stream, ModeViewMat, nw)
+		res.Rows = append(res.Rows, []string{fmt.Sprint(nw), f(basic), f(vm), fmt.Sprint(bp.NumTemplates())})
+		res.Stats = engineStats(vp)
 	}
 	return res
 }
 
 // stage2Throughput returns events/second of Stage-2 wall-clock time over
-// the stream with the given worker count, plus the template count.
-func stage2Throughput(qs []*xscl.Query, stream []*xmldoc.Document, mode Mode, workers int) (float64, int) {
+// the stream with the given worker count, plus the finished processor.
+func stage2Throughput(qs []*xscl.Query, stream []*xmldoc.Document, mode Mode, workers int) (float64, *core.Processor) {
 	p := core.NewProcessor(core.Config{ViewMaterialization: mode == ModeViewMat, Workers: workers})
 	for _, q := range qs {
 		p.MustRegister(q)
@@ -440,7 +474,7 @@ func stage2Throughput(qs []*xscl.Query, stream []*xmldoc.Document, mode Mode, wo
 	for _, d := range stream {
 		p.Process("S", d)
 	}
-	return perSecond(len(stream), p.Stats().Stage2Wall), p.NumTemplates()
+	return perSecond(len(stream), p.Stats().Stage2Wall), p
 }
 
 // PipelineSweep — not a paper figure: end-to-end ingest throughput
@@ -460,23 +494,24 @@ func PipelineSweep(o Options) Result {
 		Title:   fmt.Sprintf("end-to-end ingest throughput vs pipeline depth (%d queries, %d items)", o.Queries, len(stream)),
 		Columns: []string{"depth", "MMQJP (docs/s)", "MMQJP+ViewMat (docs/s)", "templates"}}
 	for _, depth := range o.PipelineDepths {
-		basic, ntmpl := ingestThroughput(qs, stream, ModeMMQJP, depth)
-		vm, _ := ingestThroughput(qs, stream, ModeViewMat, depth)
-		res.Rows = append(res.Rows, []string{fmt.Sprint(depth), f(basic), f(vm), fmt.Sprint(ntmpl)})
+		basic, bp := ingestThroughput(qs, stream, ModeMMQJP, depth)
+		vm, vp := ingestThroughput(qs, stream, ModeViewMat, depth)
+		res.Rows = append(res.Rows, []string{fmt.Sprint(depth), f(basic), f(vm), fmt.Sprint(bp.NumTemplates())})
+		res.Stats = engineStats(vp)
 	}
 	return res
 }
 
 // ingestThroughput returns end-to-end documents/second of one ProcessBatch
-// over the stream at the given pipeline depth, plus the template count.
-func ingestThroughput(qs []*xscl.Query, stream []*xmldoc.Document, mode Mode, depth int) (float64, int) {
+// over the stream at the given pipeline depth, plus the finished processor.
+func ingestThroughput(qs []*xscl.Query, stream []*xmldoc.Document, mode Mode, depth int) (float64, *core.Processor) {
 	p := core.NewProcessor(core.Config{ViewMaterialization: mode == ModeViewMat, PipelineDepth: depth})
 	for _, q := range qs {
 		p.MustRegister(q)
 	}
 	start := time.Now()
 	p.ProcessBatch("S", stream)
-	return perSecond(len(stream), time.Since(start)), p.NumTemplates()
+	return perSecond(len(stream), time.Since(start)), p
 }
 
 // ChurnSweep — not a paper figure: end-to-end ingest throughput on the RSS
@@ -496,18 +531,19 @@ func ChurnSweep(o Options) Result {
 		Columns: []string{"churn/chunk", "MMQJP (docs/s)", "MMQJP+ViewMat (docs/s)", "churn ops/s", "templates"}}
 	for _, k := range o.ChurnCounts {
 		basic, _, _ := churnRun(c, stream, o, ModeMMQJP, k)
-		vm, churnRate, ntmpl := churnRun(c, stream, o, ModeViewMat, k)
+		vm, churnRate, vp := churnRun(c, stream, o, ModeViewMat, k)
 		res.Rows = append(res.Rows, []string{
-			fmt.Sprint(k), f(basic), f(vm), f(churnRate), fmt.Sprint(ntmpl)})
+			fmt.Sprint(k), f(basic), f(vm), f(churnRate), fmt.Sprint(vp.NumTemplates())})
+		res.Stats = engineStats(vp)
 	}
 	return res
 }
 
 // churnRun ingests the stream in chunks, unsubscribing the k oldest and
 // subscribing k fresh queries between chunks, and returns whole-run
-// documents/second, churn operations/second, and the final live template
-// count.
-func churnRun(c workload.RSS, stream []*xmldoc.Document, o Options, mode Mode, k int) (docsPerSec, churnPerSec float64, templates int) {
+// documents/second, churn operations/second, and the final processor
+// (for template counts and structured stats).
+func churnRun(c workload.RSS, stream []*xmldoc.Document, o Options, mode Mode, k int) (docsPerSec, churnPerSec float64, proc *core.Processor) {
 	qrng := rand.New(rand.NewSource(o.Seed))
 	p := core.NewProcessor(core.Config{ViewMaterialization: mode == ModeViewMat})
 	var live []core.QueryID
@@ -536,7 +572,7 @@ func churnRun(c workload.RSS, stream []*xmldoc.Document, o Options, mode Mode, k
 		}
 	}
 	elapsed := time.Since(start)
-	return perSecond(len(stream), elapsed), perSecond(churnOps, elapsed), p.NumTemplates()
+	return perSecond(len(stream), elapsed), perSecond(churnOps, elapsed), p
 }
 
 // PublishersSweep — not a paper figure: sustained end-to-end ingest
@@ -556,18 +592,19 @@ func PublishersSweep(o Options) Result {
 		Title:   fmt.Sprintf("continuous ingest throughput vs concurrent publishers (%d queries, %d items)", o.Queries, len(stream)),
 		Columns: []string{"publishers", "MMQJP (docs/s)", "MMQJP+ViewMat (docs/s)", "templates"}}
 	for _, np := range o.PublisherCounts {
-		basic, ntmpl := publisherThroughput(qs, stream, ModeMMQJP, np)
-		vm, _ := publisherThroughput(qs, stream, ModeViewMat, np)
-		res.Rows = append(res.Rows, []string{fmt.Sprint(np), f(basic), f(vm), fmt.Sprint(ntmpl)})
+		basic, bp := publisherThroughput(qs, stream, ModeMMQJP, np)
+		vm, vp := publisherThroughput(qs, stream, ModeViewMat, np)
+		res.Rows = append(res.Rows, []string{fmt.Sprint(np), f(basic), f(vm), fmt.Sprint(bp.NumTemplates())})
+		res.Stats = engineStats(vp)
 	}
 	return res
 }
 
 // publisherThroughput returns end-to-end documents/second of the stream
 // pushed through a continuous ingest pipeline by the given number of
-// concurrent publisher goroutines (round-robin split), plus the template
-// count. The clock stops after Close, which drains the pipeline.
-func publisherThroughput(qs []*xscl.Query, stream []*xmldoc.Document, mode Mode, publishers int) (float64, int) {
+// concurrent publisher goroutines (round-robin split), plus the finished
+// processor. The clock stops after Close, which drains the pipeline.
+func publisherThroughput(qs []*xscl.Query, stream []*xmldoc.Document, mode Mode, publishers int) (float64, *core.Processor) {
 	p := core.NewProcessor(core.Config{ViewMaterialization: mode == ModeViewMat})
 	for _, q := range qs {
 		p.MustRegister(q)
@@ -586,7 +623,7 @@ func publisherThroughput(qs []*xscl.Query, stream []*xmldoc.Document, mode Mode,
 	}
 	wg.Wait()
 	ing.Close()
-	return perSecond(len(stream), time.Since(start)), p.NumTemplates()
+	return perSecond(len(stream), time.Since(start)), p
 }
 
 // PlanningSweep — not a paper figure: the adaptive-planner ablation. It
@@ -618,7 +655,8 @@ func PlanningSweep(o Options) Result {
 	qs := rssc.Queries(rng, o.Queries)
 	srng := rand.New(rand.NewSource(o.Seed + 7))
 	stream := rssc.Stream(srng, o.RSSItems)
-	res.Rows = append(res.Rows, planningRow("rss-stream", qs, stream, o))
+	row, _ := planningRow("rss-stream", qs, stream, o)
+	res.Rows = append(res.Rows, row)
 
 	tl := workload.TwoLevel{N: 4, Theta: 0.8, Window: 12}
 	qrng := rand.New(rand.NewSource(o.Seed))
@@ -630,7 +668,9 @@ func PlanningSweep(o Options) Result {
 	if nDocs < 10 {
 		nDocs = 10
 	}
-	res.Rows = append(res.Rows, planningRow("colliding-twolevel", tqs, CollidingStream(tl.N, nDocs), o))
+	row, stats := planningRow("colliding-twolevel", tqs, CollidingStream(tl.N, nDocs), o)
+	res.Rows = append(res.Rows, row)
+	res.Stats = stats
 	return res
 }
 
@@ -651,18 +691,19 @@ func CollidingStream(n, count int) []*xmldoc.Document {
 	return out
 }
 
-func planningRow(name string, qs []*xscl.Query, stream []*xmldoc.Document, o Options) []string {
+func planningRow(name string, qs []*xscl.Query, stream []*xmldoc.Document, o Options) ([]string, *mmqjp.EngineStats) {
 	w, _ := planThroughput(qs, stream, core.PlanWitness, 0, o.Seed)
 	r, _ := planThroughput(qs, stream, core.PlanRTDriven, 0, o.Seed)
-	a, s := planThroughput(qs, stream, core.PlanAuto, 64, o.Seed)
+	a, auto := planThroughput(qs, stream, core.PlanAuto, 64, o.Seed)
+	s := engineStats(auto)
 	return []string{name, f(w), f(r), f(a),
-		fmt.Sprintf("%d/%d/%d", s.WitnessPlans, s.RTPlans, s.Explorations)}
+		fmt.Sprintf("%d/%d/%d", s.WitnessPlans, s.RTPlans, s.Explorations)}, s
 }
 
 // planThroughput returns end-to-end documents/second of per-document
 // processing under the given plan (view materialization on, the production
-// mode), plus the final stats for the chosen-plan counters.
-func planThroughput(qs []*xscl.Query, stream []*xmldoc.Document, plan core.PlanKind, explore int, seed int64) (float64, core.Stats) {
+// mode), plus the processor for the chosen-plan counters.
+func planThroughput(qs []*xscl.Query, stream []*xmldoc.Document, plan core.PlanKind, explore int, seed int64) (float64, *core.Processor) {
 	p := core.NewProcessor(core.Config{
 		ViewMaterialization: true, Plan: plan,
 		PlanExploreEvery: explore, PlanExploreSeed: seed,
@@ -674,7 +715,7 @@ func planThroughput(qs []*xscl.Query, stream []*xmldoc.Document, plan core.PlanK
 	for _, d := range stream {
 		p.Process("S", d)
 	}
-	return perSecond(len(stream), time.Since(start)), p.Stats()
+	return perSecond(len(stream), time.Since(start)), p
 }
 
 // Table3 — number of query templates vs number of value joins, for the flat

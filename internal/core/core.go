@@ -50,6 +50,26 @@ type Config struct {
 	// sequential per-document path; match output is identical for every
 	// depth.
 	PipelineDepth int
+	// OnDocument, when set, is called once per processed document with its
+	// hot-path wall times, after the document has been fully consumed.
+	// It runs on the coordinator (in document order, never concurrently
+	// with itself) and must be fast and non-blocking — it sits on the
+	// ingest hot path. nil disables observation at zero cost.
+	OnDocument func(DocTimings)
+}
+
+// DocTimings is one document's hot-path observation, delivered to
+// Config.OnDocument: the wall-clock time of each order-sensitive phase and
+// the number of matches the document triggered. Stage1 is the document-local
+// NFA match + witness construction (possibly measured on a pipeline worker),
+// Stage2 the template evaluation, Merge the Algorithm-2 state merge plus
+// view-cache maintenance, and GC the window garbage-collection check/rebuild.
+type DocTimings struct {
+	Stage1  time.Duration
+	Stage2  time.Duration
+	Merge   time.Duration
+	GC      time.Duration
+	Matches int
 }
 
 // PlanKind selects the physical plan for template conjunctive queries.

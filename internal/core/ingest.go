@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/xmldoc"
 )
@@ -65,6 +66,10 @@ type Ingest struct {
 	coordQ chan *ingestJob
 	workQ  chan *ingestJob
 	done   chan struct{} // closed when the coordinator exits
+
+	// stalls counts Submit calls that found the admission queue full and
+	// had to block (backpressure made visible to observability).
+	stalls atomic.Int64
 }
 
 type ingestJob struct {
@@ -156,10 +161,26 @@ func (i *Ingest) Submit(stream string, d *xmldoc.Document, deliver func(matches 
 	if i.closed {
 		return ErrIngestClosed
 	}
-	i.coordQ <- j
+	select {
+	case i.coordQ <- j:
+	default:
+		// The admission queue is full: this Submit stalls until the
+		// coordinator frees a slot. Counted, not avoided — backpressure is
+		// the pipeline's bound doing its job.
+		i.stalls.Add(1)
+		i.coordQ <- j
+	}
 	i.workQ <- j
 	return nil
 }
+
+// QueueDepth reports the number of admitted-but-unconsumed documents (an
+// instantaneous sample of the admission queue; for gauges).
+func (i *Ingest) QueueDepth() int { return len(i.coordQ) }
+
+// Stalls reports how many Submit calls have blocked on a full admission
+// queue since the pipeline started.
+func (i *Ingest) Stalls() int64 { return i.stalls.Load() }
 
 // Barrier runs fn on the coordinator after every previously admitted
 // document has been fully consumed, holding admission closed until fn

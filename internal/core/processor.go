@@ -776,10 +776,12 @@ func (p *Processor) consumeStage1(r *stage1Result) []Match {
 	p.stats.Stage1Wall += r.wall
 	out := r.singles
 
+	var stage2 time.Duration
 	if p.state.NumDocs() > 0 && w.RdocW.Len() > 0 {
 		t := time.Now()
 		out = append(out, p.evalTemplates(w, d)...)
-		p.stats.Stage2Wall += time.Since(t)
+		stage2 = time.Since(t)
+		p.stats.Stage2Wall += stage2
 	}
 
 	t2 := time.Now()
@@ -787,6 +789,7 @@ func (p *Processor) consumeStage1(r *stage1Result) []Match {
 	if p.cfg.ViewMaterialization {
 		p.maintainCache(w)
 	}
+	t3 := time.Now()
 	if !p.anyInfWindow && (p.maxFiniteWindow > 0 || p.maxCountWindow > 0) {
 		cutoffTS := xmldoc.Timestamp(int64(math.MaxInt64))
 		if p.maxFiniteWindow > 0 {
@@ -808,8 +811,18 @@ func (p *Processor) consumeStage1(r *stage1Result) []Match {
 			}
 		}
 	}
-	p.stats.Maintain += time.Since(t2)
+	t4 := time.Now()
+	p.stats.Maintain += t4.Sub(t2)
 	p.stats.Matches += int64(len(out))
+	if p.cfg.OnDocument != nil {
+		p.cfg.OnDocument(DocTimings{
+			Stage1:  r.wall,
+			Stage2:  stage2,
+			Merge:   t3.Sub(t2),
+			GC:      t4.Sub(t3),
+			Matches: len(out),
+		})
+	}
 	return out
 }
 

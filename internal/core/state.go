@@ -64,6 +64,11 @@ type State struct {
 	// gcStale counts consecutive negative shouldGC prefix verdicts since
 	// the last full expiry scan (see gcFullScanEvery).
 	gcStale int
+
+	// maxDoc is the largest document id ever merged (it survives GC), so a
+	// restored engine can hand out fresh ids that cannot collide with
+	// retained state.
+	maxDoc xmldoc.DocID
 }
 
 type binKey struct {
@@ -174,6 +179,9 @@ func (s *State) Merge(w *CurrentWitness, retainDoc bool) {
 	s.seq[w.DocID] = s.nextSeq
 	s.nextSeq++
 	s.docIDs = append(s.docIDs, w.DocID)
+	if w.DocID > s.maxDoc {
+		s.maxDoc = w.DocID
+	}
 	if retainDoc {
 		s.docs[w.DocID] = w.Doc
 	}

@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "a counter")
+	g := r.Gauge("g", "a gauge")
+	c.Inc()
+	c.Add(4)
+	g.Set(7)
+	g.Add(-2)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	if g.Value() != 5 {
+		t.Fatalf("gauge = %d, want 5", g.Value())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h_seconds", "timings", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.05, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if got, want := h.Sum(), 5.605; got < want-1e-9 || got > want+1e-9 {
+		t.Fatalf("sum = %v, want %v", got, want)
+	}
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		`h_seconds_bucket{le="0.01"} 1`,
+		`h_seconds_bucket{le="0.1"} 3`,
+		`h_seconds_bucket{le="1"} 4`,
+		`h_seconds_bucket{le="+Inf"} 5`,
+		`h_seconds_count 5`,
+		"# TYPE h_seconds histogram",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPrometheusText(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("docs_total", "documents processed")
+	c.Add(3)
+	r.GaugeFunc("queue_depth", "queued docs", func() float64 { return 2 })
+	v := r.CounterVec("stream_pub_total", "publishes per stream", "stream")
+	v.With("S").Add(2)
+	v.With("T").Inc()
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		"# HELP docs_total documents processed",
+		"# TYPE docs_total counter",
+		"docs_total 3",
+		"# TYPE queue_depth gauge",
+		"queue_depth 2",
+		`stream_pub_total{stream="S"} 2`,
+		`stream_pub_total{stream="T"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Label values must sort for stable scrapes.
+	if strings.Index(out, `stream="S"`) > strings.Index(out, `stream="T"`) {
+		t.Fatalf("vec children not in sorted label order:\n%s", out)
+	}
+}
+
+func TestDuplicatePanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	r.Counter("x", "")
+}
+
+func TestConcurrentUpdatesAndScrapes(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "")
+	g := r.Gauge("g", "")
+	h := r.Histogram("h", "", DurationBuckets)
+	v := r.CounterVec("v_total", "", "k")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(j) * 1e-5)
+				v.With([]string{"a", "b"}[i%2]).Inc()
+			}
+		}(i)
+	}
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var sb strings.Builder
+			r.WritePrometheus(&sb)
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 || h.Count() != 8000 {
+		t.Fatalf("lost updates: c=%d h=%d", c.Value(), h.Count())
+	}
+	if v.With("a").Value()+v.With("b").Value() != 8000 {
+		t.Fatalf("vec lost updates: %d + %d", v.With("a").Value(), v.With("b").Value())
+	}
+}

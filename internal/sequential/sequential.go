@@ -101,6 +101,14 @@ func (p *Processor) NumQueries() int { return p.numQueries }
 // evaluation (the quantity the paper's figures report for Sequential).
 func (p *Processor) JoinTime() time.Duration { return p.joinTime }
 
+// NumDocs returns the number of documents processed since the last
+// ResetStats.
+func (p *Processor) NumDocs() int64 { return p.docs }
+
+// NumMatches returns the number of matches emitted since the last
+// ResetStats.
+func (p *Processor) NumMatches() int64 { return p.matches }
+
 // ResetStats zeroes the timers and counters.
 func (p *Processor) ResetStats() { p.joinTime = 0; p.matches = 0; p.docs = 0 }
 

@@ -1,0 +1,90 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the production-server layer (the CI server-smoke
+# job): start mmqjp-server with the observability sidecar and a snapshot
+# path, subscribe and publish over the wire protocol, scrape /metrics and
+# /healthz, kill the server (SIGTERM snapshots on shutdown), restart it from
+# the snapshot, and assert the subscription survived the restart — a CLAIM
+# re-attaches it and pre-restart join state still matches.
+#
+# Uses only bash (/dev/tcp for the line protocol) and curl.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+ADDR=127.0.0.1:7878
+DEBUG=127.0.0.1:7879
+WORK=$(mktemp -d)
+SNAP="$WORK/engine.snap"
+SERVER_PID=""
+
+cleanup() {
+  [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+fail() { echo "FAIL: $*" >&2; exit 1; }
+
+go build -o "$WORK/mmqjp-server" ./cmd/mmqjp-server
+
+start_server() {
+  "$WORK/mmqjp-server" -addr "$ADDR" -debug-addr "$DEBUG" -snapshot-path "$SNAP" &
+  SERVER_PID=$!
+  for _ in $(seq 1 50); do
+    if curl -fsS "http://$DEBUG/healthz" >/dev/null 2>&1; then return 0; fi
+    sleep 0.1
+  done
+  fail "server did not become healthy on $DEBUG"
+}
+
+# send_lines REQUEST... — opens one broker connection, sends every argument
+# as a line, then echoes the replies until the read times out.
+send_lines() {
+  exec 3<>"/dev/tcp/${ADDR%:*}/${ADDR#*:}"
+  local req
+  for req in "$@"; do printf '%s\n' "$req" >&3; done
+  local line
+  while IFS= read -r -t 2 -u 3 line; do printf '%s\n' "$line"; done
+  exec 3<&- 3>&-
+}
+
+echo "== first server instance: subscribe, publish, scrape =="
+start_server
+
+OUT=$(send_lines \
+  "SUB S//a->x FOLLOWED BY{x=y, 1000} S//b->y" \
+  "PUB S 1 <a>k</a>")
+echo "$OUT"
+grep -q '^OK 0$' <<<"$OUT" || fail "SUB/PUB did not succeed: $OUT"
+
+HEALTH=$(curl -fsS "http://$DEBUG/healthz")
+grep -q ok <<<"$HEALTH" || fail "/healthz returned: $HEALTH"
+
+METRICS=$(curl -fsS "http://$DEBUG/metrics")
+grep -q '^mmqjp_queries 1$' <<<"$METRICS" || fail "/metrics missing mmqjp_queries 1"
+grep -q '^mmqjp_documents_total 1$' <<<"$METRICS" || fail "/metrics missing mmqjp_documents_total 1"
+grep -q 'mmqjp_stage1_seconds_count 1' <<<"$METRICS" || fail "/metrics missing stage1 histogram observation"
+grep -q 'mmqjp_stream_publish_total{stream="S"} 1' <<<"$METRICS" || fail "/metrics missing per-stream publish counter"
+
+echo "== SIGTERM: snapshot on shutdown =="
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=""
+[ -s "$SNAP" ] || fail "no snapshot written to $SNAP"
+
+echo "== second server instance: restore, claim, match across restart =="
+start_server
+
+METRICS=$(curl -fsS "http://$DEBUG/metrics")
+grep -q '^mmqjp_queries 1$' <<<"$METRICS" || fail "subscription did not survive the restart"
+
+# The restored query is orphaned; CLAIM re-attaches, and the pre-restart
+# <a> document joins the post-restart <b>: MATCH qid=0 left=1 right=2.
+OUT=$(send_lines \
+  "CLAIM 0" \
+  "PUB S 2 <b>k</b>")
+echo "$OUT"
+grep -q '^OK 0$' <<<"$OUT" || fail "CLAIM failed after restart: $OUT"
+grep -q '^MATCH 0 left=1@1 right=2@2$' <<<"$OUT" || fail "pre-restart join state lost: $OUT"
+
+echo "PASS: subscriptions and join state survived the restart"

@@ -1,0 +1,215 @@
+package mmqjp
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/xmldoc"
+	"repro/internal/xscl"
+)
+
+// Durability: Snapshot serializes everything a restarted process needs to
+// resume every subscription with identical output — the subscription set
+// (query source text keyed by QueryID, with unsubscribed ids recorded as
+// gaps so surviving ids stay stable), the windowed join state (see
+// core.StateSnapshot for the consistency argument), the retained documents,
+// and the engine's id allocators. OpenEngine rebuilds an engine from it:
+// queries are re-registered from source in id order (gaps padded with
+// tombstones), then the join state is restored underneath them.
+//
+// The snapshot is taken at an ingest-pipeline barrier, exactly like
+// Subscribe: every document admitted before the call is fully processed and
+// no later document has touched the state, so the snapshot is a consistent
+// admission-order prefix of the stream. Restoring it and replaying the
+// suffix yields byte-identical match output to a process that never
+// restarted.
+
+// ErrSequentialSnapshot is returned by Snapshot for ProcessorSequential
+// engines, whose per-query baseline processor has no durable form.
+var ErrSequentialSnapshot = errors.New("mmqjp: snapshots are not supported in sequential mode")
+
+const (
+	snapshotFormat  = "mmqjp-snapshot"
+	snapshotVersion = 1
+)
+
+type snapQuery struct {
+	ID     int64  `json:"id"`
+	Source string `json:"source"`
+}
+
+type engineSnapshot struct {
+	Format  string `json:"format"`
+	Version int    `json:"version"`
+
+	Queries         []snapQuery         `json:"queries,omitempty"`
+	NextDerived     int64               `json:"next_derived"`
+	DroppedCascades int64               `json:"dropped_cascades,omitempty"`
+	Docs            []core.SnapRetained `json:"docs,omitempty"`
+	State           core.StateSnapshot  `json:"state"`
+}
+
+// Snapshot writes a consistent snapshot of the engine — subscriptions, join
+// state, retained documents, id allocators — to w as JSON. While the
+// continuous ingest pipeline is live the snapshot is taken at a pipeline
+// barrier (every admitted document processed, none in flight), so it is an
+// exact admission-order prefix; otherwise it runs under the writer lock like
+// any registration. Returns ErrSequentialSnapshot in sequential mode.
+func (e *Engine) Snapshot(w io.Writer) error {
+	if e.seq != nil {
+		return ErrSequentialSnapshot
+	}
+	e.ingestMu.Lock()
+	ing := e.ing
+	if ing == nil {
+		defer e.ingestMu.Unlock()
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		return e.snapshot(w)
+	}
+	e.ingestMu.Unlock()
+	var serr error
+	if berr := ing.Barrier(func() {
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		serr = e.snapshot(w)
+	}); berr != nil {
+		// The pipeline was closed concurrently; wait for its drain, then
+		// snapshot directly — the drain consumed every admitted document.
+		ing.Wait()
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		return e.snapshot(w)
+	}
+	return serr
+}
+
+// snapshot builds and encodes the snapshot. Callers hold e.mu and guarantee
+// no pipeline work is in flight.
+func (e *Engine) snapshot(w io.Writer) error {
+	snap := engineSnapshot{
+		Format:          snapshotFormat,
+		Version:         snapshotVersion,
+		NextDerived:     e.nextDerived,
+		DroppedCascades: e.droppedCascades,
+		State:           e.proc.ExportState(),
+	}
+	for id, q := range e.queries {
+		if q == nil {
+			continue
+		}
+		snap.Queries = append(snap.Queries, snapQuery{ID: int64(id), Source: q.Source})
+	}
+	if len(e.docs) > 0 {
+		ids := make([]int64, 0, len(e.docs))
+		for id := range e.docs {
+			ids = append(ids, int64(id))
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, id := range ids {
+			d := e.docs[xmldoc.DocID(id)]
+			snap.Docs = append(snap.Docs, core.SnapRetained{
+				ID: id, TS: int64(d.Timestamp), XML: d.XMLText(),
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(&snap)
+}
+
+// OpenEngine rebuilds an engine from a Snapshot stream. opts plays the same
+// role as in New and need not match the snapshotting engine's options —
+// processor kind (among the shared-join kinds), parallelism, pipeline depth
+// and plan strategy are all output-invisible — except that
+// ProcessorSequential cannot host a snapshot. Every subscription resumes
+// under its original QueryID, and publishing the stream suffix produces
+// exactly the matches the original engine would have produced.
+func OpenEngine(r io.Reader, opts Options) (*Engine, error) {
+	if opts.Processor == ProcessorSequential {
+		return nil, ErrSequentialSnapshot
+	}
+	var snap engineSnapshot
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&snap); err != nil {
+		return nil, fmt.Errorf("mmqjp: decode snapshot: %w", err)
+	}
+	if snap.Format != snapshotFormat {
+		return nil, fmt.Errorf("mmqjp: not a snapshot (format %q)", snap.Format)
+	}
+	if snap.Version != snapshotVersion {
+		return nil, fmt.Errorf("mmqjp: unsupported snapshot version %d", snap.Version)
+	}
+	e := New(opts)
+	sort.Slice(snap.Queries, func(i, j int) bool { return snap.Queries[i].ID < snap.Queries[j].ID })
+	for _, sq := range snap.Queries {
+		if sq.ID < int64(len(e.queries)) {
+			return nil, fmt.Errorf("mmqjp: snapshot query id %d out of order", sq.ID)
+		}
+		for int64(len(e.queries)) < sq.ID {
+			// An id unsubscribed before the snapshot: burn it so surviving
+			// subscriptions land on their original ids.
+			e.proc.SkipQueryID()
+			e.queries = append(e.queries, nil)
+		}
+		q, err := xscl.Parse(sq.Source)
+		if err != nil {
+			return nil, fmt.Errorf("mmqjp: restore query %d: %w", sq.ID, err)
+		}
+		id, err := e.subscribe(q)
+		if err != nil {
+			return nil, fmt.Errorf("mmqjp: restore query %d: %w", sq.ID, err)
+		}
+		if int64(id) != sq.ID {
+			return nil, fmt.Errorf("mmqjp: restore query %d landed on id %d", sq.ID, id)
+		}
+	}
+	if err := e.proc.RestoreState(snap.State); err != nil {
+		return nil, err
+	}
+	for _, rd := range snap.Docs {
+		d, err := ParseDocument(rd.XML, rd.ID, rd.TS)
+		if err != nil {
+			return nil, fmt.Errorf("mmqjp: restore document %d: %w", rd.ID, err)
+		}
+		e.docs[d.ID] = d
+	}
+	e.nextDerived = snap.NextDerived
+	e.droppedCascades = snap.DroppedCascades
+	return e, nil
+}
+
+// MaxDocID returns the largest document id the engine has ever admitted
+// into the join state (it survives both GC and snapshot/restore), so id
+// allocators — like the server's auto-assigned PUB ids — can resume above
+// it after a restart. Zero in sequential mode.
+func (e *Engine) MaxDocID() int64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.proc == nil {
+		return 0
+	}
+	return e.proc.MaxDocID()
+}
+
+// Ping verifies pipeline liveness: it round-trips a barrier through the
+// continuous ingest pipeline (a no-op when the pipeline has never started)
+// and reports an error if the round-trip does not complete within timeout —
+// the health signal behind the server's /healthz endpoint.
+func (e *Engine) Ping(timeout time.Duration) error {
+	done := make(chan struct{})
+	go func() {
+		e.Flush()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-time.After(timeout):
+		return fmt.Errorf("mmqjp: ingest pipeline unresponsive after %v", timeout)
+	}
+}

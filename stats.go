@@ -1,0 +1,98 @@
+package mmqjp
+
+import (
+	"fmt"
+	"time"
+)
+
+// EngineStats is a structured snapshot of the engine's accumulated
+// processing cost — one coherent type backing every stats consumer: the
+// String rendering (the wire server's STATS reply and the examples), JSON
+// (cmd/mmqjp-bench -json and monitoring pipelines; durations marshal as
+// nanoseconds), and the Prometheus /metrics endpoint of cmd/mmqjp-server.
+//
+// Phase durations follow the paper's Figure-14/15 breakdown and accumulate
+// CPU time across Stage-2 workers; Stage1Wall/Stage2Wall are the wall-clock
+// counterparts (see core.Stats). In sequential mode only Queries, Documents,
+// Matches and CQ (the join time) are populated.
+type EngineStats struct {
+	// Sequential is true for ProcessorSequential engines, whose cost is
+	// reported as a single join time (in CQ).
+	Sequential bool `json:"sequential,omitempty"`
+
+	Queries   int   `json:"queries"`
+	Templates int   `json:"templates"`
+	Documents int64 `json:"documents"`
+	Matches   int64 `json:"matches"`
+
+	XPath       time.Duration `json:"xpath_ns"`
+	Witness     time.Duration `json:"witness_ns"`
+	Rvj         time.Duration `json:"rvj_ns"`
+	RL          time.Duration `json:"rl_ns"`
+	RR          time.Duration `json:"rr_ns"`
+	CQ          time.Duration `json:"cq_ns"`
+	Maintain    time.Duration `json:"maintain_ns"`
+	Stage1Wall  time.Duration `json:"stage1_wall_ns"`
+	Stage2Wall  time.Duration `json:"stage2_wall_ns"`
+	ExploreWall time.Duration `json:"explore_wall_ns"`
+
+	// Plan-choice counters of the adaptive planner (planner.go).
+	WitnessPlans int64 `json:"witness_plans"`
+	RTPlans      int64 `json:"rt_plans"`
+	Explorations int64 `json:"explorations"`
+
+	// DroppedCascades counts derived documents discarded at the
+	// composition depth limit (a symptom of a cyclic query network).
+	DroppedCascades int64 `json:"dropped_cascades,omitempty"`
+}
+
+// String renders the stats in the engine's historical one-line format (the
+// exact format Engine.Stats returned when it was a string method).
+func (s EngineStats) String() string {
+	if s.Sequential {
+		return fmt.Sprintf("sequential: %d queries, join time %v", s.Queries, s.CQ)
+	}
+	return fmt.Sprintf("mmqjp: %d queries, %d templates, %d docs, %d matches, xpath %v, witness %v, rvj %v, rl %v, rr %v, cq %v, maintain %v, stage1 %v, stage2 %v, plans witness=%d rt=%d explore=%d",
+		s.Queries, s.Templates, s.Documents, s.Matches,
+		s.XPath, s.Witness, s.Rvj, s.RL, s.RR, s.CQ, s.Maintain, s.Stage1Wall, s.Stage2Wall,
+		s.WitnessPlans, s.RTPlans, s.Explorations)
+}
+
+// Stats returns a structured snapshot of processing cost so far. Use
+// EngineStats.String for the historical human-readable line, or marshal it
+// as JSON for machines.
+func (e *Engine) Stats() EngineStats {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.seq != nil {
+		return EngineStats{
+			Sequential: true,
+			Queries:    e.seq.NumQueries(),
+			Documents:  e.seq.NumDocs(),
+			Matches:    e.seq.NumMatches(),
+			CQ:         e.seq.JoinTime(),
+		}
+	}
+	s := e.proc.Stats()
+	return EngineStats{
+		Queries:      e.proc.NumQueries(),
+		Templates:    e.proc.NumTemplates(),
+		Documents:    s.Documents,
+		Matches:      s.Matches,
+		XPath:        s.XPath,
+		Witness:      s.Witness,
+		Rvj:          s.Rvj,
+		RL:           s.RL,
+		RR:           s.RR,
+		CQ:           s.CQ,
+		Maintain:     s.Maintain,
+		Stage1Wall:   s.Stage1Wall,
+		Stage2Wall:   s.Stage2Wall,
+		ExploreWall:  s.ExploreWall,
+		WitnessPlans: s.WitnessPlans,
+		RTPlans:      s.RTPlans,
+		Explorations: s.Explorations,
+
+		DroppedCascades: e.droppedCascades,
+	}
+}

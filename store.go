@@ -1,0 +1,134 @@
+package mmqjp
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Store is a place snapshots live between process lifetimes. Save must be
+// atomic: a crash mid-save (or a failed write function) leaves the previous
+// snapshot intact, so there is always a consistent snapshot to restart from.
+type Store interface {
+	// Save replaces the stored snapshot with whatever write produces.
+	Save(write func(w io.Writer) error) error
+	// Open returns the current snapshot for reading; the caller closes it.
+	// Returns ErrNoSnapshot when nothing has ever been saved.
+	Open() (io.ReadCloser, error)
+}
+
+// ErrNoSnapshot is returned by Store.Open when the store is empty — for a
+// server, the signal to start fresh rather than restore.
+var ErrNoSnapshot = errors.New("mmqjp: no snapshot in store")
+
+// SnapshotTo saves a consistent engine snapshot into the store (see
+// Snapshot for the consistency guarantees).
+func (e *Engine) SnapshotTo(s Store) error {
+	return s.Save(e.Snapshot)
+}
+
+// OpenEngineFrom rebuilds an engine from the store's current snapshot. It
+// returns ErrNoSnapshot (wrapped) when the store is empty; callers that
+// treat an empty store as a fresh start should errors.Is against it.
+func OpenEngineFrom(s Store, opts Options) (*Engine, error) {
+	rc, err := s.Open()
+	if err != nil {
+		return nil, err
+	}
+	defer rc.Close()
+	return OpenEngine(rc, opts)
+}
+
+// MemStore is an in-memory Store (tests, embedded use). The zero value is
+// an empty store ready for use.
+type MemStore struct {
+	mu   sync.Mutex
+	data []byte
+	full bool
+}
+
+// Save buffers the snapshot fully before replacing the previous one, so a
+// failed write leaves the store unchanged.
+func (s *MemStore) Save(write func(w io.Writer) error) error {
+	var buf bytes.Buffer
+	if err := write(&buf); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.data = buf.Bytes()
+	s.full = true
+	return nil
+}
+
+// Open returns the most recently saved snapshot.
+func (s *MemStore) Open() (io.ReadCloser, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.full {
+		return nil, ErrNoSnapshot
+	}
+	return io.NopCloser(bytes.NewReader(s.data)), nil
+}
+
+// FileStore keeps the snapshot in a single file, replaced atomically on
+// every Save (write to a temporary file in the same directory, fsync,
+// rename), so a crash at any point leaves either the old or the new
+// snapshot — never a torn one.
+type FileStore struct {
+	path string
+	mu   sync.Mutex
+}
+
+// NewFileStore returns a store backed by the file at path. The file need
+// not exist yet; its directory must.
+func NewFileStore(path string) *FileStore {
+	return &FileStore{path: path}
+}
+
+// Path returns the snapshot file's path.
+func (s *FileStore) Path() string { return s.path }
+
+// Save writes the snapshot to a temporary file and renames it over the
+// store's path.
+func (s *FileStore) Save(write func(w io.Writer) error) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	dir, base := filepath.Split(s.path)
+	tmp, err := os.CreateTemp(dir, base+".tmp*")
+	if err != nil {
+		return fmt.Errorf("mmqjp: snapshot store: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after the rename
+	if err := write(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("mmqjp: snapshot store: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("mmqjp: snapshot store: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), s.path); err != nil {
+		return fmt.Errorf("mmqjp: snapshot store: %w", err)
+	}
+	return nil
+}
+
+// Open opens the snapshot file; a missing file reports ErrNoSnapshot.
+func (s *FileStore) Open() (io.ReadCloser, error) {
+	f, err := os.Open(s.path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("%w (%s)", ErrNoSnapshot, s.path)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("mmqjp: snapshot store: %w", err)
+	}
+	return f, nil
+}
