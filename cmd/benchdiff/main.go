@@ -8,7 +8,8 @@
 //
 // Every column whose header marks a throughput series ("ev/s" or "docs/s";
 // higher is better) is compared row by row, keyed on each row's first
-// column (the sweep parameter). With -normalize (the default) the current
+// column (the sweep parameter). Columns additionally marked "(info)" are
+// exempt: they carry no regression signal on the gate machine. With -normalize (the default) the current
 // values are first divided by the median current/baseline ratio across all
 // compared series: a uniform machine-speed difference between the machine
 // that generated the baseline and the machine running the gate cancels
@@ -78,8 +79,14 @@ func load(path string) ([]bench.Result, error) {
 }
 
 // isThroughputCol reports whether a column header names a higher-is-better
-// throughput series.
+// throughput series. Columns marked "(info)" opt out of the gate: they are
+// throughput-shaped but carry no regression signal on the gate machine
+// (e.g. the scale experiment's measured multi-worker series, which is
+// scheduler noise on a host with fewer cores than workers).
 func isThroughputCol(name string) bool {
+	if strings.Contains(name, "(info)") {
+		return false
+	}
 	return strings.Contains(name, "ev/s") || strings.Contains(name, "docs/s")
 }
 

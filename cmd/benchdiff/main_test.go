@@ -101,6 +101,22 @@ func TestDiffIgnoresNonThroughputColumns(t *testing.T) {
 	}
 }
 
+func TestDiffInfoColumnsExempt(t *testing.T) {
+	// A "(info)" column is throughput-shaped but opted out of the gate —
+	// the scale experiment's measured multi-worker series, which is
+	// scheduler noise on hosts with fewer cores than workers.
+	mk := func(measured string) []bench.Result {
+		return []bench.Result{{
+			ID:      "scale",
+			Columns: []string{"workers", "measured (docs/s) (info)", "projected (docs/s)"},
+			Rows:    [][]string{{"4", measured, "100.000"}},
+		}}
+	}
+	if report, regressed := diff(mk("1000.000"), mk("100.000"), 20, false); regressed {
+		t.Fatalf("(info) column compared:\n%s", report)
+	}
+}
+
 func TestDiffNormalizesMachineSpeed(t *testing.T) {
 	// The gate machine is uniformly half the speed of the baseline
 	// machine: raw comparison fails, normalized comparison passes.

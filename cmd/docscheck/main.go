@@ -1,0 +1,152 @@
+// Command docscheck is the documentation gate behind `make docs-check` (the
+// CI docs job): it keeps the markdown guides honest against the code.
+//
+// Usage:
+//
+//	docscheck README.md TUNING.md DESIGN.md
+//
+// Two checks run over every file given:
+//
+//   - Every fenced ```go block must be a complete, compilable Go file. Each
+//     block is extracted into a throwaway package directory inside the
+//     module (so `repro` imports resolve) and built with `go build`. Blocks
+//     that are deliberately not Go files belong in ```text or untagged
+//     fences.
+//   - Every intra-repo markdown link — `[text](target)` where the target is
+//     not an external URL or a pure fragment — must point at an existing
+//     file or directory, resolved relative to the markdown file.
+//
+// Exit status is 1 if any block fails to build or any link is broken, with
+// one diagnostic line per failure.
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: docscheck <markdown-file>...")
+		os.Exit(2)
+	}
+	failures := 0
+	for _, path := range os.Args[1:] {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "docscheck: %v\n", err)
+			failures++
+			continue
+		}
+		text := string(data)
+		for _, msg := range checkGoBlocks(path, text) {
+			fmt.Fprintln(os.Stderr, msg)
+			failures++
+		}
+		for _, msg := range checkLinks(path, text) {
+			fmt.Fprintln(os.Stderr, msg)
+			failures++
+		}
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "docscheck: %d failure(s)\n", failures)
+		os.Exit(1)
+	}
+	fmt.Println("docscheck: all go blocks compile, all intra-repo links resolve")
+}
+
+// goBlock is one fenced ```go block with the line it starts on.
+type goBlock struct {
+	line int
+	code string
+}
+
+// extractGoBlocks scans fenced code blocks and returns the go-tagged ones.
+func extractGoBlocks(text string) []goBlock {
+	var out []goBlock
+	lines := strings.Split(text, "\n")
+	inBlock := false
+	isGo := false
+	start := 0
+	var buf []string
+	for i, l := range lines {
+		trimmed := strings.TrimSpace(l)
+		if !inBlock && strings.HasPrefix(trimmed, "```") {
+			inBlock = true
+			isGo = strings.TrimPrefix(trimmed, "```") == "go"
+			start = i + 1
+			buf = buf[:0]
+			continue
+		}
+		if inBlock && trimmed == "```" {
+			if isGo {
+				out = append(out, goBlock{line: start + 1, code: strings.Join(buf, "\n")})
+			}
+			inBlock = false
+			continue
+		}
+		if inBlock {
+			buf = append(buf, l)
+		}
+	}
+	return out
+}
+
+// checkGoBlocks builds every ```go block of one markdown file.
+func checkGoBlocks(path, text string) (msgs []string) {
+	for i, b := range extractGoBlocks(text) {
+		if !strings.Contains(b.code, "package ") {
+			msgs = append(msgs, fmt.Sprintf("%s:%d: go block has no package clause — make it a complete file or retag the fence", path, b.line))
+			continue
+		}
+		dir, err := os.MkdirTemp(".", ".docscheck-*")
+		if err != nil {
+			msgs = append(msgs, fmt.Sprintf("docscheck: %v", err))
+			continue
+		}
+		file := filepath.Join(dir, "block.go")
+		if err := os.WriteFile(file, []byte(b.code+"\n"), 0o644); err != nil {
+			msgs = append(msgs, fmt.Sprintf("docscheck: %v", err))
+			os.RemoveAll(dir)
+			continue
+		}
+		cmd := exec.Command("go", "build", "-o", os.DevNull, "./"+dir)
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			msgs = append(msgs, fmt.Sprintf("%s:%d: go block %d does not compile:\n%s", path, b.line, i+1, strings.TrimSpace(string(out))))
+		}
+		os.RemoveAll(dir)
+	}
+	return msgs
+}
+
+// linkRe matches inline markdown links. Images and reference-style links
+// are out of scope; the guides use inline links only.
+var linkRe = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)\)`)
+
+// checkLinks verifies every intra-repo link target of one markdown file.
+func checkLinks(path, text string) (msgs []string) {
+	dir := filepath.Dir(path)
+	for i, line := range strings.Split(text, "\n") {
+		for _, m := range linkRe.FindAllStringSubmatch(line, -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") || strings.HasPrefix(target, "#") {
+				continue
+			}
+			if idx := strings.IndexByte(target, '#'); idx >= 0 {
+				target = target[:idx]
+			}
+			if target == "" {
+				continue
+			}
+			if _, err := os.Stat(filepath.Join(dir, target)); err != nil {
+				msgs = append(msgs, fmt.Sprintf("%s:%d: broken link %q", path, i+1, m[1]))
+			}
+		}
+	}
+	return msgs
+}

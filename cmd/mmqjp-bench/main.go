@@ -13,8 +13,8 @@
 // JSON array of result tables — the format cmd/benchdiff compares for the
 // CI bench-regression gate.
 //
-// Paper-scale runs take substantially longer than the defaults; see
-// EXPERIMENTS.md for the settings used to produce the recorded results.
+// Paper-scale runs take substantially longer than the defaults; see the
+// README's "Benchmarks" section for each experiment and its flags.
 package main
 
 import (
@@ -31,7 +31,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "comma-separated experiment ids (table3, fig8..fig16, workers, pipeline, churn, publishers) or 'all'")
+		experiment = flag.String("experiment", "all", "comma-separated experiment ids (table3, fig8..fig16, workers, pipeline, churn, publishers, planning, scale) or 'all'")
 		seed       = flag.Int64("seed", 1, "workload generator seed")
 		sweep      = flag.String("queries-sweep", "", "comma-separated query counts for fig8/11/16 (default 10,100,1000,10000,100000)")
 		workers    = flag.String("workers-sweep", "", "comma-separated worker counts for the 'workers' experiment (default 1,2,4,8)")
@@ -42,16 +42,20 @@ func main() {
 		bigQueries = flag.Int("big-queries", 100000, "query count for fig14/15")
 		rssItems   = flag.Int("rss-items", 5000, "stream length for fig16 (paper: 225000)")
 		seqItems   = flag.Int("seq-rss-items", 0, "stream length cap for fig16 sequential runs (default: rss-items)")
+		scaleQs    = flag.Int("scale-queries", 0, "query count for the 'scale' experiment (default 1500; paper-scale: 100000)")
+		scaleItems = flag.Int("scale-items", 0, "stream length for the 'scale' experiment (default 250; paper-scale: 2000)")
 		jsonPath   = flag.String("json", "", "also write the results to this file as JSON (for benchdiff)")
 	)
 	flag.Parse()
 
 	opts := bench.Options{
-		Seed:        *seed,
-		Queries:     *queries,
-		BigQueries:  *bigQueries,
-		RSSItems:    *rssItems,
-		SeqRSSItems: *seqItems,
+		Seed:         *seed,
+		Queries:      *queries,
+		BigQueries:   *bigQueries,
+		RSSItems:     *rssItems,
+		SeqRSSItems:  *seqItems,
+		ScaleQueries: *scaleQs,
+		ScaleItems:   *scaleItems,
 	}
 	parseInts := func(flagName, val string) []int {
 		var out []int

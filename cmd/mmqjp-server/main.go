@@ -224,6 +224,7 @@ func main() {
 	async := flag.Bool("async", false, "route PUB through the continuous async ingest pipeline")
 	planName := flag.String("plan", "auto", "Stage-2 physical plan: auto (adaptive), witness, or rt (forced ablations)")
 	explore := flag.Int("explore", 64, "with -plan auto, run the non-chosen plan on ~1/N of plan decisions to calibrate the cost model (0 disables)")
+	splitThr := flag.Float64("split-threshold", 0, "cost-unit threshold above which a hot template's Stage-2 evaluation is split across workers (0 = built-in default, negative disables; see TUNING.md)")
 	debugAddr := flag.String("debug-addr", "", "HTTP observability listener (/metrics, /healthz, /debug/pprof); empty disables")
 	snapPath := flag.String("snapshot-path", "", "durable mode: snapshot file to restore on start and save on shutdown; empty disables")
 	snapEvery := flag.Duration("snapshot-every", 0, "with -snapshot-path, also snapshot at this interval (0 = only on shutdown)")
@@ -247,7 +248,7 @@ func main() {
 	}
 	opts := mmqjp.Options{
 		Processor: kind, Parallelism: *workers, PipelineDepth: *pipeline,
-		Plan: plan, PlanExploreEvery: *explore,
+		Plan: plan, PlanExploreEvery: *explore, SplitThreshold: *splitThr,
 	}
 	if s.m != nil {
 		opts.OnDocument = s.m.onDocument

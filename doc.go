@@ -27,7 +27,11 @@
 // parallelized across query templates when Options.Parallelism is set:
 // templates are sharded over a bounded worker pool with per-shard state
 // ownership, and matches are merged deterministically, so output is
-// identical for every worker count (see DESIGN.md). Batch publishes
+// identical for every worker count (see DESIGN.md). When the workload is
+// skewed onto a few hot templates, Options.SplitThreshold additionally
+// splits a hot template's evaluation into chunks that idle workers steal
+// (intra-template parallelism), again without changing any output byte —
+// TUNING.md maps workload shapes onto these knobs. Batch publishes
 // (PublishBatch, PublishXMLBatch) further pipeline ingestion when
 // Options.PipelineDepth is set: Stage 1 of up to PipelineDepth upcoming
 // documents runs ahead in workers while Stage 2, the state merge, and
@@ -79,7 +83,8 @@
 //	matches, err := eng.PublishXML("S", "<book>...</book>", docID, timestamp)
 //	for _, m := range matches { ... }
 //
-// See the examples directory for runnable programs, DESIGN.md for the
-// architecture, and EXPERIMENTS.md for the reproduction of the paper's
-// evaluation.
+// See the package examples (Example_*) and the examples directory for
+// runnable programs, DESIGN.md for the architecture, TUNING.md for the
+// tuning guide, and README.md "Benchmarks" for the reproduction of the
+// paper's evaluation.
 package mmqjp

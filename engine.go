@@ -98,6 +98,13 @@ type Options struct {
 	// Match output is identical for every setting. Ignored by
 	// ProcessorSequential, which exists for benchmarking only.
 	Parallelism int
+	// SplitThreshold sets the cost-unit EWMA above which a hot template's
+	// Stage-2 evaluation is split into chunks stealable by idle workers,
+	// so one mega-template cannot serialize a Publish on a single worker
+	// (see TUNING.md). 0 selects the built-in default, negative disables
+	// splitting. Only meaningful with Parallelism > 1; match output is
+	// identical for every setting.
+	SplitThreshold float64
 	// PipelineDepth bounds how many upcoming documents of a PublishBatch
 	// call may have Stage 1 (XML parse, shared-NFA match, witness
 	// construction) running ahead of the in-order Stage-2 consumption
@@ -190,6 +197,7 @@ func New(opts Options) *Engine {
 			PlanExploreEvery:    opts.PlanExploreEvery,
 			PlanExploreSeed:     opts.PlanExploreSeed,
 			Workers:             opts.Parallelism,
+			SplitThreshold:      opts.SplitThreshold,
 			PipelineDepth:       opts.PipelineDepth,
 			OnDocument:          opts.OnDocument,
 		})

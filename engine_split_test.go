@@ -1,0 +1,116 @@
+package mmqjp
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// TestSplitInvisibilityUnderAsyncChurn is the engine-level determinism
+// guarantee for intra-template splitting (core split.go): with splitting
+// forced (threshold 1), disabled (negative), and at the built-in default,
+// the per-document match streams must be byte-identical while documents
+// flow through the continuous async ingest pipeline and subscriptions
+// churn at pipeline barriers — including unsubscribing the owner of a
+// template whose chunks other workers just stole. The workload is a
+// mega-template one (identical wiring shape over varying leaves, so every
+// query lands in one canonical template) to force the steal path: three of
+// four shards own nothing and must steal. The CI race job runs this under
+// -race.
+func TestSplitInvisibilityUnderAsyncChurn(t *testing.T) {
+	qrng := rand.New(rand.NewSource(11))
+	query := func() string {
+		l, r := qrng.Perm(6)[:2], qrng.Perm(6)[:2]
+		return fmt.Sprintf(
+			"S//item->v0[./l%d->v1][./l%d->v2] FOLLOWED BY{v1=w1 AND v2=w2, 1000} S//item->w0[./l%d->w1][./l%d->w2]",
+			l[0]+1, l[1]+1, r[0]+1, r[1]+1)
+	}
+	var queries []string
+	for i := 0; i < 30; i++ {
+		queries = append(queries, query())
+	}
+	vrng := rand.New(rand.NewSource(12))
+	var stream []*Document
+	for i := 0; i < 80; i++ {
+		b := NewDocumentBuilder(int64(i+1), int64(i+1), "item")
+		for l := 1; l <= 6; l++ {
+			b.Element(0, fmt.Sprintf("l%d", l), fmt.Sprintf("val-%d", vrng.Intn(4)))
+		}
+		stream = append(stream, b.Build())
+	}
+
+	run := func(opts Options) ([][]Match, EngineStats) {
+		eng := New(opts)
+		var live []QueryID
+		for _, q := range queries {
+			live = append(live, eng.MustSubscribe(q))
+		}
+		chans := make([]<-chan []Match, 0, len(stream))
+		nextExtra := 0
+		for i, d := range stream {
+			if i%10 == 5 {
+				// Churn at a pipeline barrier: drop the oldest query —
+				// possibly the one whose template evaluation was just
+				// split and stolen from — and subscribe a replacement of
+				// the same template.
+				if err := eng.Unsubscribe(live[0]); err != nil {
+					t.Fatalf("unsubscribe %d: %v", live[0], err)
+				}
+				live = live[1:]
+				live = append(live, eng.MustSubscribe(queries[nextExtra%len(queries)]))
+				nextExtra++
+			}
+			chans = append(chans, eng.PublishAsync("S", d))
+		}
+		eng.Flush()
+		out := make([][]Match, len(chans))
+		for i, ch := range chans {
+			out[i] = collectAsync(t, ch)
+		}
+		stats := eng.Stats()
+		eng.Close()
+		return out, stats
+	}
+
+	base := Options{Processor: ProcessorViewMat, Parallelism: 4, PipelineDepth: 2}
+	serial := base
+	serial.Parallelism = 1
+	serial.SplitThreshold = -1
+	off, def, forced := base, base, base
+	off.SplitThreshold = -1
+	def.SplitThreshold = 0 // built-in default threshold
+	forced.SplitThreshold = 1
+
+	want, _ := run(serial)
+	for _, tc := range []struct {
+		name string
+		opts Options
+	}{{"off", off}, {"default", def}, {"forced", forced}} {
+		got, stats := run(tc.opts)
+		for i := range want {
+			if len(got[i]) != len(want[i]) {
+				t.Fatalf("split=%s doc %d: %d matches vs %d serial",
+					tc.name, i, len(got[i]), len(want[i]))
+			}
+			for j := range got[i] {
+				if got[i][j] != want[i][j] {
+					t.Fatalf("split=%s doc %d match %d: %+v vs serial %+v",
+						tc.name, i, j, got[i][j], want[i][j])
+				}
+			}
+		}
+		switch tc.name {
+		case "off":
+			if stats.Splits != 0 || stats.Steals != 0 {
+				t.Fatalf("split disabled but splits=%d steals=%d", stats.Splits, stats.Steals)
+			}
+		case "forced":
+			if stats.Splits == 0 {
+				t.Fatal("split forced but no evaluation was split")
+			}
+			if stats.Steals == 0 {
+				t.Fatal("mega-template workload with three idle shards produced no steals")
+			}
+		}
+	}
+}

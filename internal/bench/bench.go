@@ -119,6 +119,14 @@ type Options struct {
 	// continuous async ingest pipeline under concurrent admission,
 	// default 1,2,4,8).
 	PublisherCounts []int
+	// ScaleQueries and ScaleItems size the "scale" experiment's
+	// paper-scale workload (scale.go). The nominal paper-scale regime is
+	// workload.DefaultPaperScale() — 100k instances over 2000 items; the
+	// defaults here (1500 queries, 250 items) are a time-budget slice of
+	// it that still clears 50 live templates, and the CI gate runs an even
+	// smaller one (see the Makefile).
+	ScaleQueries int
+	ScaleItems   int
 }
 
 // Defaults fills zero fields.
@@ -155,6 +163,12 @@ func (o Options) Defaults() Options {
 	}
 	if len(o.PublisherCounts) == 0 {
 		o.PublisherCounts = []int{1, 2, 4, 8}
+	}
+	if o.ScaleQueries == 0 {
+		o.ScaleQueries = 1500
+	}
+	if o.ScaleItems == 0 {
+		o.ScaleItems = 250
 	}
 	return o
 }
@@ -429,6 +443,9 @@ func engineStats(p *core.Processor) *mmqjp.EngineStats {
 		WitnessPlans: s.WitnessPlans,
 		RTPlans:      s.RTPlans,
 		Explorations: s.Explorations,
+		Splits:       s.Splits,
+		SplitChunks:  s.SplitChunks,
+		Steals:       s.Steals,
 	}
 }
 
@@ -897,7 +914,7 @@ func sideComplex(part []int, pfx string) string {
 // All returns every experiment id: the paper's tables and figures in paper
 // order, then the repo's own scaling experiments.
 func All() []string {
-	return []string{"table3", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "workers", "pipeline", "churn", "publishers", "planning"}
+	return []string{"table3", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "workers", "pipeline", "churn", "publishers", "planning", "scale"}
 }
 
 // Run executes one experiment by id.
@@ -933,6 +950,8 @@ func Run(id string, o Options) (Result, error) {
 		return PublishersSweep(o), nil
 	case "planning":
 		return PlanningSweep(o), nil
+	case "scale":
+		return ScaleSweep(o), nil
 	default:
 		return Result{}, fmt.Errorf("bench: unknown experiment %q (have %v)", id, All())
 	}

@@ -135,12 +135,24 @@ func (p *Processor) evalTemplates(w *CurrentWitness, d *xmldoc.Document) []Match
 			return nil
 		}
 	}
+	// The intra-template splitter (split.go) only spins up its steal
+	// barrier on documents where some template is already split-active:
+	// cold documents keep the exact share-nothing shape above, and a
+	// template crossing the threshold starts splitting on the next
+	// document.
+	var run *splitRun
+	if len(p.shards) > 1 && p.splitThreshold() >= 0 && p.anySplitActive() {
+		run = newSplitRun(len(p.shards))
+	}
 	results := make([][]Match, len(p.shards))
 	p.runShards(func(sh *shard) {
 		if pre != nil {
-			results[sh.id] = p.evalShardViewMat(sh, w, d, pre)
+			results[sh.id] = p.evalShardViewMat(sh, w, d, pre, run)
 		} else {
-			results[sh.id] = p.evalShardBasic(sh, w, d)
+			results[sh.id] = p.evalShardBasic(sh, w, d, run)
+		}
+		if run != nil {
+			run.finish(sh)
 		}
 	})
 	var out []Match
@@ -274,7 +286,7 @@ func (p *Processor) prepareViewMat(w *CurrentWitness) *stage2Shared {
 // The value-join pairs (the Rdoc ⋈ RdocW core) are recomputed per template
 // from the incremental string index — no sharing across templates, which is
 // precisely what the Section-5 optimization adds.
-func (p *Processor) evalShardBasic(sh *shard, w *CurrentWitness, d *xmldoc.Document) []Match {
+func (p *Processor) evalShardBasic(sh *shard, w *CurrentWitness, d *xmldoc.Document, run *splitRun) []Match {
 	var out []Match
 	var subs *docSubsets
 	for _, t := range sh.templates {
@@ -297,11 +309,22 @@ func (p *Processor) evalShardBasic(sh *shard, w *CurrentWitness, d *xmldoc.Docum
 			continue
 		}
 		dec := p.choosePlan(t, perDoc)
+		p.splitDecision(t, dec)
+		split := run != nil && t.plan.splitActive
 		out = append(out, p.runPlans(sh, t, dec,
-			func() []Match { return p.evalTemplateWitnessBasic(sh, t, w, rvj, d) },
+			func() []Match {
+				atoms := p.witnessAtoms(sh, t, w, rvj)
+				if split {
+					return p.splitWitness(run, sh, t, atoms, d)
+				}
+				return p.emit(t, relation.EvalConjunctiveOrdered(atoms, t.headVars()), d)
+			},
 			func() ([]Match, int) {
 				if subs == nil {
 					subs = newDocSubsets(p.state, w)
+				}
+				if split {
+					return p.splitRTDriven(run, sh, t, w, rvj, subs, d)
 				}
 				return p.evalTemplateRTDriven(t, w, rvj, subs, d)
 			})...)
@@ -316,6 +339,16 @@ func (p *Processor) evalShardBasic(sh *shard, w *CurrentWitness, d *xmldoc.Docum
 // anchoring its endpoints, walking up to the side roots, so every join is
 // selective.
 func (p *Processor) evalTemplateWitnessBasic(sh *shard, t *Template, w *CurrentWitness, rvj *relation.Relation, d *xmldoc.Document) []Match {
+	rout := relation.EvalConjunctiveOrdered(p.witnessAtoms(sh, t, w, rvj), t.headVars())
+	return p.emit(t, rout, d)
+}
+
+// witnessAtoms builds the witness-driven plan's atom list for one template:
+// the per-template value-join pair atoms interleaved with their anchoring
+// structural edges, the indexed RT atom last. It (re)builds the RT index
+// when dirty, so it must run on the shard owning t — split chunk executors
+// receive the finished list (split.go).
+func (p *Processor) witnessAtoms(sh *shard, t *Template, w *CurrentWitness, rvj *relation.Relation) []relation.Atom {
 	atoms := make([]relation.Atom, 0, 2*len(t.VJ)+t.N+2)
 	emitted := map[[2]int]bool{}
 	rootDone := map[Side]bool{}
@@ -327,18 +360,18 @@ func (p *Processor) evalTemplateWitnessBasic(sh *shard, t *Template, w *CurrentW
 		atoms = p.appendAnchors(atoms, t, w, e[0], Left, emitted, rootDone)
 		atoms = p.appendAnchors(atoms, t, w, e[1], Right, emitted, rootDone)
 	}
-	atoms = append(atoms, sh.rtAtom(t))
-	rout := relation.EvalConjunctiveOrdered(atoms, t.headVars())
-	return p.emit(t, rout, d)
+	return append(atoms, sh.rtAtom(t))
 }
 
 // evalShardViewMat implements the per-template tail of Algorithm 4 over one
 // shard's templates, against the shared RL/RR views of pre.
-func (p *Processor) evalShardViewMat(sh *shard, w *CurrentWitness, d *xmldoc.Document, pre *stage2Shared) []Match {
+func (p *Processor) evalShardViewMat(sh *shard, w *CurrentWitness, d *xmldoc.Document, pre *stage2Shared, run *splitRun) []Match {
 	var out []Match
 	var subs *docSubsets
 	for _, t := range sh.templates {
 		dec := p.choosePlan(t, pre.perDoc)
+		p.splitDecision(t, dec)
+		split := run != nil && t.plan.splitActive
 		var rvj *relation.Relation
 		if dec.rtDriven || dec.explore {
 			// The value-join pair relation is computed once per
@@ -357,10 +390,16 @@ func (p *Processor) evalShardViewMat(sh *shard, w *CurrentWitness, d *xmldoc.Doc
 		out = append(out, p.runPlans(sh, t, dec,
 			func() []Match {
 				atoms := p.viewMatAtoms(sh, t, w, pre.rl, pre.rr)
+				if split {
+					return p.splitWitness(run, sh, t, atoms, d)
+				}
 				rout := relation.EvalConjunctiveOrdered(atoms, t.headVars())
 				return p.emit(t, rout, d)
 			},
 			func() ([]Match, int) {
+				if split {
+					return p.splitRTDriven(run, sh, t, w, rvj, subs, d)
+				}
 				return p.evalTemplateRTDriven(t, w, rvj, subs, d)
 			})...)
 	}

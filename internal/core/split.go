@@ -1,0 +1,312 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/relation"
+	"repro/internal/xmldoc"
+)
+
+// Intra-template Stage-2 parallelism.
+//
+// Template-granular sharding (shard.go) stops scaling the moment the live
+// template count drops to the worker count — with one hot mega-template an
+// entire document's Stage-2 cost serializes onto one shard while the others
+// idle. The splitter below partitions a hot template's evaluation *below*
+// the template granularity, along the exact unit of work the adaptive
+// planner already counts:
+//
+//   - witness-driven plan: the rows of the first scanned atom of the
+//     conjunctive query. EvalConjunctiveOrdered seeds its join pipeline by
+//     scanning the first non-indexed atom in atom order and every relation
+//     operator downstream is bag-semantics (no dedup), so evaluating the
+//     query once per row-range of that atom and concatenating the outputs
+//     in range order is *exactly* the unsplit evaluation — same rows, same
+//     order, same multiplicities.
+//   - RT-driven plan: the distinct variable-vector groups of t.vecList.
+//     The plan already evaluates each group independently and appends, so
+//     any partition of the group list concatenated in list order is again
+//     byte-identical to the serial loop.
+//
+// Chunks are owned by the evaluating shard but stealable by idle shards: a
+// shard that finishes its own template list spins on the document's
+// splitRun, claiming chunks from still-evaluating shards via an atomic
+// cursor. The owner publishes a task, participates in claiming, and blocks
+// until every chunk completed before advancing to its next template — so
+// per-shard lazily-memoized state (docSubsets) is never mutated while
+// thieves hold chunks (the owner pre-warms the subsets a task can touch,
+// see docSubsets.warm). Match output therefore stays byte-identical at any
+// worker count and any steal schedule; the differential harness replays
+// split-forced and split-disabled configurations against each other to
+// prove it.
+//
+// Only genuinely hot templates pay the partitioning overhead: the planner's
+// per-decision cost-unit estimates feed a split threshold with hysteresis
+// (splitDecision), and the coordinator creates a splitRun — and with it the
+// idle-shard steal barrier — only on documents where some live template is
+// already split-active.
+
+// defaultSplitThreshold is the cost-unit EWMA (witness fan-out estimate or
+// RT vector-group cost, whichever plan is chosen) above which a template's
+// evaluation is split into stealable chunks. The unit scale is the same one
+// choosePlan compares, so the default marks templates whose per-document
+// intermediate results reach thousands of rows — where chunk setup cost
+// (copying an atom slice, one EvalConjunctiveOrdered pipeline per chunk) is
+// noise against the join work itself.
+const defaultSplitThreshold = 4096
+
+// splitChunksPerShard sets how many chunks a split task is divided into,
+// per shard: more chunks than shards so stealing can rebalance mid-task,
+// few enough that per-chunk pipeline setup stays amortized.
+const splitChunksPerShard = 2
+
+// splitThreshold resolves Config.SplitThreshold: negative disables
+// splitting, zero selects the default.
+func (p *Processor) splitThreshold() float64 {
+	switch {
+	case p.cfg.SplitThreshold < 0:
+		return -1
+	case p.cfg.SplitThreshold == 0:
+		return defaultSplitThreshold
+	default:
+		return p.cfg.SplitThreshold
+	}
+}
+
+// splitDecision feeds one plan decision's cost units into the template's
+// split EWMA and updates the split-active flag with hysteresis: a template
+// enters the split regime when its unit EWMA reaches the threshold and
+// leaves it only after decaying below half the threshold, so templates
+// oscillating around the boundary don't flap between the two evaluation
+// shapes every document. Runs on the shard owning t (lock-free by
+// ownership, like the rest of planStats).
+func (p *Processor) splitDecision(t *Template, d planDecision) {
+	thr := p.splitThreshold()
+	if thr < 0 {
+		return
+	}
+	ps := t.plan
+	units := d.witnessUnits
+	if d.rtDriven {
+		units = d.rtUnits
+	}
+	ps.splitUnits.observe(units)
+	if ps.splitActive {
+		if ps.splitUnits.value() < thr/2 {
+			ps.splitActive = false
+		}
+	} else if ps.splitUnits.value() >= thr {
+		ps.splitActive = true
+	}
+}
+
+// anySplitActive reports whether any live template is in the split regime.
+// The coordinator consults it once per document: when false, Stage 2 runs
+// without a splitRun and idle shards exit immediately instead of spinning
+// on the steal barrier. A template crossing the threshold mid-document
+// starts splitting on the next document.
+func (p *Processor) anySplitActive() bool {
+	for _, t := range p.templateList {
+		if t.plan.splitActive {
+			return true
+		}
+	}
+	return false
+}
+
+// splitTask is one split template evaluation: n chunks claimed through an
+// atomic cursor and executed by whichever shard claims them. exec(i) must
+// touch only read-only state plus the chunk's own output slot.
+type splitTask struct {
+	owner int // shard id of the publishing shard
+	n     int
+	next  atomic.Int32
+	wg    sync.WaitGroup
+	exec  func(chunk int)
+}
+
+func newSplitTask(owner, n int, exec func(int)) *splitTask {
+	t := &splitTask{owner: owner, n: n, exec: exec}
+	t.wg.Add(n)
+	return t
+}
+
+// claim executes chunks of t until the cursor is exhausted, reporting
+// whether it executed any. Thieves (sh.id != t.owner) count each claimed
+// chunk as a steal in their own shard's stats.
+func (t *splitTask) claim(sh *shard) bool {
+	ran := false
+	for {
+		i := int(t.next.Add(1)) - 1
+		if i >= t.n {
+			return ran
+		}
+		ran = true
+		if sh.id != t.owner {
+			sh.stats.Steals++
+		}
+		t.exec(i)
+		t.wg.Done()
+	}
+}
+
+// splitRun coordinates one document's split tasks across the shards.
+type splitRun struct {
+	mu    sync.Mutex
+	tasks []*splitTask
+	// active counts shards still evaluating their own template lists; the
+	// steal loop in finish terminates when it reaches zero, which is only
+	// possible after every published task has fully drained (owners block
+	// in publishAndDrain before decrementing).
+	active atomic.Int32
+}
+
+func newSplitRun(shards int) *splitRun {
+	r := &splitRun{}
+	r.active.Store(int32(shards))
+	return r
+}
+
+// publishAndDrain makes a task visible to idle shards, yields once so a
+// spinning thief gets a chance to start claiming (essential interleaving on
+// a single-CPU host, a no-op cost elsewhere), claims chunks alongside the
+// thieves, and blocks until every chunk has completed. The owner must not
+// advance to its next template before this returns: per-shard memoized
+// state shared across its templates (docSubsets) must stay frozen while
+// thieves hold chunks.
+func (r *splitRun) publishAndDrain(t *splitTask, owner *shard) {
+	r.mu.Lock()
+	r.tasks = append(r.tasks, t)
+	r.mu.Unlock()
+	runtime.Gosched()
+	t.claim(owner)
+	t.wg.Wait()
+}
+
+// finish marks sh's own template list complete and turns the shard into a
+// thief: it spins claiming chunks from still-evaluating shards until every
+// shard is done, so one mega-template can no longer serialize Stage 2 on
+// its owner while the rest of the pool idles.
+func (r *splitRun) finish(sh *shard) {
+	r.active.Add(-1)
+	for r.active.Load() > 0 {
+		if !r.stealOnce(sh) {
+			runtime.Gosched()
+		}
+	}
+}
+
+// stealOnce scans the published tasks for one with unclaimed chunks and
+// drains it. The cursor pre-check keeps spinning thieves from growing an
+// exhausted task's cursor unboundedly.
+func (r *splitRun) stealOnce(sh *shard) bool {
+	r.mu.Lock()
+	tasks := r.tasks
+	r.mu.Unlock()
+	for _, t := range tasks {
+		if int(t.next.Load()) < t.n && t.claim(sh) {
+			return true
+		}
+	}
+	return false
+}
+
+// chunkBounds partitions [0, n) into at most chunks contiguous ranges,
+// dropping empties.
+func chunkBounds(n, chunks int) [][2]int {
+	out := make([][2]int, 0, chunks)
+	for i := 0; i < chunks; i++ {
+		lo, hi := i*n/chunks, (i+1)*n/chunks
+		if lo < hi {
+			out = append(out, [2]int{lo, hi})
+		}
+	}
+	return out
+}
+
+// splitWitness evaluates a witness-plan conjunctive query in stealable
+// chunks: the rows of the first scanned atom — the one
+// EvalConjunctiveOrdered seeds its pipeline from — are range-partitioned,
+// which distributes exactly over the bag-semantics join (see the package
+// comment above). atoms must be fully built by the owner (index builds and
+// other shard-state mutation happen in atom construction, not here).
+func (p *Processor) splitWitness(run *splitRun, sh *shard, t *Template, atoms []relation.Atom, d *xmldoc.Document) []Match {
+	scan := -1
+	for i, a := range atoms {
+		if a.Idx == nil {
+			scan = i
+			break
+		}
+	}
+	nchunks := 0
+	if scan >= 0 {
+		nchunks = splitChunkCount(len(atoms[scan].Rel.Rows), len(p.shards))
+	}
+	if nchunks < 2 {
+		rout := relation.EvalConjunctiveOrdered(atoms, t.headVars())
+		return p.emit(t, rout, d)
+	}
+	base := atoms[scan].Rel
+	bounds := chunkBounds(len(base.Rows), nchunks)
+	slots := make([][]Match, len(bounds))
+	head := t.headVars()
+	task := newSplitTask(sh.id, len(bounds), func(i int) {
+		ca := make([]relation.Atom, len(atoms))
+		copy(ca, atoms)
+		ca[scan].Rel = &relation.Relation{Schema: base.Schema, Rows: base.Rows[bounds[i][0]:bounds[i][1]]}
+		slots[i] = p.emit(t, relation.EvalConjunctiveOrdered(ca, head), d)
+	})
+	sh.stats.Splits++
+	sh.stats.SplitChunks += int64(len(bounds))
+	run.publishAndDrain(task, sh)
+	return concatSlots(slots)
+}
+
+// splitRTDriven evaluates the RT-driven plan in stealable chunks: the
+// vector-group list is range-partitioned and each chunk runs the unchanged
+// per-group loop, so concatenation in chunk order is byte-identical to the
+// serial iteration. The owner pre-warms the shard-shared subset memos
+// before publishing so chunk executors only read them.
+func (p *Processor) splitRTDriven(run *splitRun, sh *shard, t *Template, w *CurrentWitness, rvj *relation.Relation, subs *docSubsets, d *xmldoc.Document) ([]Match, int) {
+	nchunks := splitChunkCount(len(t.vecList), len(p.shards))
+	if nchunks < 2 {
+		return p.evalTemplateRTDriven(t, w, rvj, subs, d)
+	}
+	subs.warm(t)
+	bounds := chunkBounds(len(t.vecList), nchunks)
+	slots := make([][]Match, len(bounds))
+	probed := make([]int, len(bounds))
+	task := newSplitTask(sh.id, len(bounds), func(i int) {
+		slots[i], probed[i] = p.evalVecGroups(t, w, rvj, subs, d, t.vecList[bounds[i][0]:bounds[i][1]])
+	})
+	sh.stats.Splits++
+	sh.stats.SplitChunks += int64(len(bounds))
+	run.publishAndDrain(task, sh)
+	groups := 0
+	for _, g := range probed {
+		groups += g
+	}
+	return concatSlots(slots), groups
+}
+
+// splitChunkCount picks the chunk count for n work units: a small multiple
+// of the shard count (so stealing can rebalance mid-task), never more
+// chunks than units.
+func splitChunkCount(n, shards int) int {
+	c := splitChunksPerShard * shards
+	if c > n {
+		c = n
+	}
+	return c
+}
+
+// concatSlots merges per-chunk outputs in chunk order.
+func concatSlots(slots [][]Match) []Match {
+	var out []Match
+	for _, s := range slots {
+		out = append(out, s...)
+	}
+	return out
+}

@@ -1,0 +1,181 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/workload"
+	"repro/internal/xscl"
+)
+
+// Tests for intra-template Stage-2 parallelism (split.go): byte-identity of
+// split vs unsplit evaluation, the mega-template steal path, and the
+// split-threshold hysteresis — plus the paper-scale workload's template
+// floor, since the split machinery only matters in that regime.
+
+// megaQuery builds one query of the fixed identity-wiring 2-join shape over
+// random distinct leaves per side. Template identity is purely structural,
+// so every such query lands in the same canonical template while the leaf
+// diversity spreads its instances over many RT vector groups.
+func megaQuery(rng *rand.Rand, leaves int) *xscl.Query {
+	l := rng.Perm(leaves)[:2]
+	r := rng.Perm(leaves)[:2]
+	return xscl.MustParse(fmt.Sprintf(
+		"S//item->v0[./l%d->v1][./l%d->v2] FOLLOWED BY{v1=w1 AND v2=w2, 1000} S//item->w0[./l%d->w1][./l%d->w2]",
+		l[0]+1, l[1]+1, r[0]+1, r[1]+1))
+}
+
+// TestSplitMegaTemplate is the worst case template-granular sharding cannot
+// handle: every query in one canonical template, so three of four shards
+// own nothing. With splitting forced (threshold 1) the idle shards must
+// steal chunks, and the match stream must stay byte-identical to both the
+// single-worker and the split-disabled runs.
+func TestSplitMegaTemplate(t *testing.T) {
+	gen := workload.PaperScale{Leaves: 8, ValuePool: 4}
+	qrng := rand.New(rand.NewSource(7))
+	queries := make([]*xscl.Query, 40)
+	for i := range queries {
+		queries[i] = megaQuery(qrng, gen.Leaves)
+	}
+	stream := gen.Stream(rand.New(rand.NewSource(8)), 60)
+
+	run := func(cfg Config) ([][]harnessRec, *Processor) {
+		p := NewProcessor(cfg)
+		for _, q := range queries {
+			p.MustRegister(q)
+		}
+		out := make([][]harnessRec, len(stream))
+		for i, d := range stream {
+			out[i] = harnessRecs(p.Process("S", d))
+		}
+		return out, p
+	}
+
+	ref, refP := run(Config{Workers: 1, SplitThreshold: -1})
+	if n := refP.NumTemplates(); n != 1 {
+		t.Fatalf("mega workload produced %d templates, want exactly 1", n)
+	}
+	for _, cfg := range []Config{
+		{Workers: 4, SplitThreshold: -1},
+		{Workers: 4, SplitThreshold: 1},
+		{Workers: 4, SplitThreshold: 1, ViewMaterialization: true},
+		{Workers: 4, SplitThreshold: 1, Plan: PlanRTDriven},
+	} {
+		got, p := run(cfg)
+		if !reflect.DeepEqual(ref, got) {
+			t.Fatalf("config %+v: match stream diverges from serial run", cfg)
+		}
+		s := p.Stats()
+		if cfg.SplitThreshold < 0 {
+			if s.Splits != 0 || s.Steals != 0 {
+				t.Fatalf("split disabled but splits=%d steals=%d", s.Splits, s.Steals)
+			}
+			continue
+		}
+		if s.Splits == 0 {
+			t.Fatalf("config %+v: split forced but no evaluation was split", cfg)
+		}
+		if s.SplitChunks < 2*s.Splits {
+			t.Fatalf("config %+v: %d splits produced only %d chunks", cfg, s.Splits, s.SplitChunks)
+		}
+		if s.Steals == 0 {
+			t.Fatalf("config %+v: three idle shards never stole a chunk (splits=%d chunks=%d)",
+				cfg, s.Splits, s.SplitChunks)
+		}
+	}
+}
+
+// TestSplitUnderChurnTrace replays a random churn trace (subscribe and
+// unsubscribe between documents, exercising template reclamation while
+// planStats — including the split hysteresis state — survives in planMemo)
+// through split-forced, split-default and split-disabled configurations.
+// All must be byte-identical.
+func TestSplitUnderChurnTrace(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		gen := workload.DefaultRandomFlat()
+		rng := rand.New(rand.NewSource(seed))
+		tr := gen.Trace(rng, 4+rng.Intn(4), 10+rng.Intn(8), true)
+		ref := replayTrace(Config{Workers: 1, SplitThreshold: -1}, tr)
+		for _, cfg := range []Config{
+			{Workers: 4, SplitThreshold: -1},
+			{Workers: 4, SplitThreshold: 0}, // default threshold
+			{Workers: 4, SplitThreshold: 1}, // always split
+			{Workers: 4, SplitThreshold: 1, ViewMaterialization: true},
+			{Workers: 4, SplitThreshold: 1, Plan: PlanRTDriven, PipelineDepth: 2},
+		} {
+			got := replayTrace(cfg, tr)
+			for ev := range ref {
+				if !reflect.DeepEqual(ref[ev], got[ev]) {
+					t.Fatalf("seed %d event %d: %+v diverges from serial split-disabled run", seed, ev, cfg)
+				}
+			}
+		}
+	}
+}
+
+// TestSplitThresholdHysteresis drives splitDecision directly: a template
+// enters the split regime at the threshold, stays in it down to half the
+// threshold, and only then leaves — so unit estimates oscillating between
+// thr/2 and thr never flap the regime.
+func TestSplitThresholdHysteresis(t *testing.T) {
+	p := NewProcessor(Config{Workers: 2, SplitThreshold: 100})
+	p.MustRegister(xscl.MustParse(
+		"S//item->v0[./l1->v1] FOLLOWED BY{v1=w1, 100} S//item->w0[./l1->w1]"))
+	tmpl := p.templateList[0]
+	feed := func(units float64, times int) {
+		for i := 0; i < times; i++ {
+			p.splitDecision(tmpl, planDecision{witnessUnits: units, rtUnits: 1})
+		}
+	}
+	feed(200, 1)
+	if !tmpl.plan.splitActive {
+		t.Fatal("not active after observing units=200 against threshold 100")
+	}
+	feed(60, 30) // EWMA converges to 60 — between thr/2 and thr
+	if !tmpl.plan.splitActive {
+		t.Fatal("deactivated above thr/2: hysteresis must hold the regime")
+	}
+	feed(10, 50) // decays below thr/2
+	if tmpl.plan.splitActive {
+		t.Fatal("still active after units EWMA decayed below thr/2")
+	}
+	feed(60, 50) // back between thr/2 and thr — must stay inactive
+	if tmpl.plan.splitActive {
+		t.Fatal("reactivated below the entry threshold")
+	}
+	feed(150, 30) // crosses thr again
+	if !tmpl.plan.splitActive {
+		t.Fatal("not reactivated after units EWMA crossed the threshold")
+	}
+}
+
+// TestPaperScaleTemplateFloor pins the workload property the scale bench
+// depends on: the paper-scale generator's wiring sampling produces 50+ live
+// canonical templates (the earlier identity-wiring generators collapse to
+// ~one template per join count), and instances spread over multiple RT
+// vector groups per template.
+func TestPaperScaleTemplateFloor(t *testing.T) {
+	gen := workload.DefaultPaperScale()
+	rng := rand.New(rand.NewSource(1))
+	p := NewProcessor(Config{})
+	for _, q := range gen.Queries(rng, 3000) {
+		p.MustRegister(q)
+	}
+	if n := p.NumTemplates(); n < 50 {
+		t.Fatalf("3000 paper-scale queries produced %d templates, want >= 50", n)
+	}
+	multi := 0
+	for _, ts := range p.PlanStats() {
+		if ts.VecGroups > 1 {
+			multi++
+		}
+	}
+	if multi < 10 {
+		t.Fatalf("only %d templates have more than one vector group", multi)
+	}
+	if gen.Instances < 100000 {
+		t.Fatalf("default paper-scale instance count %d below the paper's regime", gen.Instances)
+	}
+}

@@ -41,6 +41,14 @@ type EngineStats struct {
 	RTPlans      int64 `json:"rt_plans"`
 	Explorations int64 `json:"explorations"`
 
+	// Intra-template split counters (core split.go): Splits is the number
+	// of template evaluations partitioned into stealable chunks,
+	// SplitChunks the chunks produced, Steals the chunks executed by a
+	// worker other than the template's owner.
+	Splits      int64 `json:"splits"`
+	SplitChunks int64 `json:"split_chunks"`
+	Steals      int64 `json:"steals"`
+
 	// DroppedCascades counts derived documents discarded at the
 	// composition depth limit (a symptom of a cyclic query network).
 	DroppedCascades int64 `json:"dropped_cascades,omitempty"`
@@ -92,6 +100,9 @@ func (e *Engine) Stats() EngineStats {
 		WitnessPlans: s.WitnessPlans,
 		RTPlans:      s.RTPlans,
 		Explorations: s.Explorations,
+		Splits:       s.Splits,
+		SplitChunks:  s.SplitChunks,
+		Steals:       s.Steals,
 
 		DroppedCascades: e.droppedCascades,
 	}
