@@ -50,6 +50,17 @@
 // publishing resumes exactly where the stream left off, with document ids
 // continuing above the highest admitted id.
 //
+// -snapshot-gzip compresses saved snapshots; restores sniff the on-disk
+// format, so the flag can be added (or dropped) across restarts without
+// losing the existing snapshot.
+//
+// -partitions N (N > 1) runs the engine-of-engines router: subscriptions
+// are partitioned by canonical template signature across N independent
+// engines, every published document fans out to all of them, and the
+// merged match stream is byte-identical to a single engine's — the flag
+// changes scheduling, never output. Snapshots record the partition count
+// and must be restored with the same -partitions value.
+//
 // -debug-addr starts an HTTP observability sidecar with /metrics
 // (Prometheus text), /healthz (ingest-pipeline liveness under a deadline)
 // and /debug/pprof; see debug.go for the metric set.
@@ -225,9 +236,11 @@ func main() {
 	planName := flag.String("plan", "auto", "Stage-2 physical plan: auto (adaptive), witness, or rt (forced ablations)")
 	explore := flag.Int("explore", 64, "with -plan auto, run the non-chosen plan on ~1/N of plan decisions to calibrate the cost model (0 disables)")
 	splitThr := flag.Float64("split-threshold", 0, "cost-unit threshold above which a hot template's Stage-2 evaluation is split across workers (0 = built-in default, negative disables; see TUNING.md)")
+	partitions := flag.Int("partitions", 0, "engine-of-engines: partition subscriptions across this many independent engines behind the deterministic router (0 or 1 = a single engine; output is identical either way)")
 	debugAddr := flag.String("debug-addr", "", "HTTP observability listener (/metrics, /healthz, /debug/pprof); empty disables")
 	snapPath := flag.String("snapshot-path", "", "durable mode: snapshot file to restore on start and save on shutdown; empty disables")
 	snapEvery := flag.Duration("snapshot-every", 0, "with -snapshot-path, also snapshot at this interval (0 = only on shutdown)")
+	snapGzip := flag.Bool("snapshot-gzip", false, "with -snapshot-path, gzip-compress saved snapshots (restores sniff the format, so existing uncompressed snapshots still open)")
 	flag.Parse()
 
 	kind := mmqjp.ProcessorMMQJP
@@ -244,17 +257,22 @@ func main() {
 		owners:  map[mmqjp.QueryID]*client{},
 	}
 	if *debugAddr != "" {
-		s.m = newServerMetrics(func() *mmqjp.Engine { return s.eng })
+		s.m = newServerMetrics(func() *mmqjp.Engine { return s.eng }, *partitions)
 	}
 	opts := mmqjp.Options{
 		Processor: kind, Parallelism: *workers, PipelineDepth: *pipeline,
 		Plan: plan, PlanExploreEvery: *explore, SplitThreshold: *splitThr,
+		Partitions: *partitions,
 	}
 	if s.m != nil {
 		opts.OnDocument = s.m.onDocument
 	}
 	if s.durable {
-		s.store = mmqjp.NewFileStore(*snapPath)
+		var storeOpts []mmqjp.StoreOption
+		if *snapGzip {
+			storeOpts = append(storeOpts, mmqjp.WithGzip())
+		}
+		s.store = mmqjp.NewFileStore(*snapPath, storeOpts...)
 	}
 	restored, err := s.initEngine(opts)
 	if err != nil {

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/router"
 	"repro/internal/sequential"
 	"repro/internal/xmldoc"
 	"repro/internal/xscl"
@@ -98,6 +99,17 @@ type Options struct {
 	// Match output is identical for every setting. Ignored by
 	// ProcessorSequential, which exists for benchmarking only.
 	Parallelism int
+	// Partitions selects the engine-of-engines router tier: with N > 1 the
+	// engine owns N independent join processors, assigns each subscription
+	// to one by hash of its canonical template signature, fans every
+	// published document to all of them, and merges the match streams
+	// under the canonical total order — match output is byte-identical to
+	// an unpartitioned engine for every N. Each partition gets the full
+	// per-partition configuration (Parallelism workers, plan choice, view
+	// cache...). 0 or 1 selects the single-processor engine. Ignored by
+	// ProcessorSequential. Snapshots record the partition count and must
+	// be reopened with the same value (see OpenEngine).
+	Partitions int
 	// SplitThreshold sets the cost-unit EWMA above which a hot template's
 	// Stage-2 evaluation is split into chunks stealable by idle workers,
 	// so one mega-template cannot serialize a Publish on a single worker
@@ -152,10 +164,31 @@ type Match struct {
 // read-only accessors only exclude writers. PublishAsync additionally
 // overlaps the document-local Stage-1 work of concurrently admitted
 // documents through a persistent ingest pipeline (see PublishAsync).
+// joinBackend is the join-processing surface the facade drives: a single
+// *core.Processor, or an *internal/router.Router when Options.Partitions
+// selects the engine-of-engines tier. Both speak core.QueryID (the router's
+// ids are global and dense in registration order, exactly like a
+// processor's), and both implement core.Backend — so the continuous ingest
+// pipeline and its barriers drive either one unchanged, which makes an
+// Ingest.Barrier over a routed backend a router-wide barrier for free.
+type joinBackend interface {
+	core.Backend
+	Register(q *xscl.Query) (core.QueryID, error)
+	Unregister(id core.QueryID) error
+	SkipQueryID()
+	Process(stream string, d *xmldoc.Document) []core.Match
+	ProcessBatchFunc(stream string, docs []*xmldoc.Document, deliver func(i int, matches []core.Match))
+	NumQueries() int
+	NumTemplates() int
+	Stats() core.Stats
+	PlanStats() []core.TemplatePlanStats
+	MaxDocID() int64
+}
+
 type Engine struct {
 	mu   sync.RWMutex
 	opts Options
-	proc *core.Processor       // nil when Sequential
+	proc joinBackend           // nil when Sequential
 	seq  *sequential.Processor // nil otherwise
 
 	// ingestMu guards the lazily started continuous ingest pipeline. It is
@@ -189,7 +222,7 @@ func New(opts Options) *Engine {
 	case ProcessorSequential:
 		e.seq = sequential.NewProcessor()
 	default:
-		e.proc = core.NewProcessor(core.Config{
+		cc := core.Config{
 			ViewMaterialization: opts.Processor == ProcessorViewMat,
 			ViewCacheCapacity:   opts.ViewCacheCapacity,
 			RetainDocuments:     opts.RetainDocuments,
@@ -200,7 +233,12 @@ func New(opts Options) *Engine {
 			SplitThreshold:      opts.SplitThreshold,
 			PipelineDepth:       opts.PipelineDepth,
 			OnDocument:          opts.OnDocument,
-		})
+		}
+		if opts.Partitions > 1 {
+			e.proc = router.New(router.Config{Partitions: opts.Partitions, Core: cc})
+		} else {
+			e.proc = core.NewProcessor(cc)
+		}
 	}
 	return e
 }

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"io"
 	"math/rand"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -241,5 +242,65 @@ func TestFileStore(t *testing.T) {
 	}
 	if len(ms) != 1 || ms[0].Query != qid {
 		t.Fatalf("restored engine matches = %v, want one for query %d", ms, qid)
+	}
+}
+
+// TestFileStoreGzip covers the compressed store option: WithGzip actually
+// compresses the file on disk, restore is format-sniffing in both
+// directions (a plain store opens a gzipped file and vice versa, so the
+// option can be toggled across restarts without losing the snapshot), and
+// the restored engine behaves identically.
+func TestFileStoreGzip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "engine.snap")
+
+	eng := New(Options{Processor: ProcessorViewMat})
+	qid := eng.MustSubscribe(paperQ1)
+	eng.PublishXML("S", paperD1, 1, 100)
+
+	gz := NewFileStore(path, WithGzip())
+	if err := eng.SnapshotTo(gz); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) < 2 || raw[0] != 0x1f || raw[1] != 0x8b {
+		t.Fatalf("WithGzip store wrote a file without the gzip magic: % x", raw[:2])
+	}
+
+	plainStore := NewFileStore(path)
+	for _, store := range []*FileStore{gz, plainStore} {
+		restored, err := OpenEngineFrom(store, Options{Processor: ProcessorViewMat})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ms, err := restored.PublishXML("S", paperD2, 2, 200)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ms) != 1 || ms[0].Query != qid {
+			t.Fatalf("gzipped restore matches = %v, want one for query %d", ms, qid)
+		}
+	}
+
+	// The reverse direction: an uncompressed snapshot already on disk must
+	// still open through a WithGzip store.
+	if err := eng.SnapshotTo(plainStore); err != nil {
+		t.Fatal(err)
+	}
+	raw, err = os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raw[0] == 0x1f && raw[1] == 0x8b {
+		t.Fatal("plain store wrote a gzipped file")
+	}
+	restored, err := OpenEngineFrom(gz, Options{Processor: ProcessorViewMat})
+	if err != nil {
+		t.Fatalf("WithGzip store opening a plain snapshot: %v", err)
+	}
+	if restored.Query(qid) != paperQ1 {
+		t.Fatalf("restored query %d = %q, want the subscribed source", qid, restored.Query(qid))
 	}
 }

@@ -139,8 +139,9 @@ type Stats struct {
 	Steals      int64
 }
 
-// add accumulates o into s (merging per-shard stats into a total).
-func (s *Stats) add(o Stats) {
+// Add accumulates o into s: per-shard stats into a processor total, or
+// per-partition stats into a routed engine's aggregate.
+func (s *Stats) Add(o Stats) {
 	s.XPath += o.XPath
 	s.Witness += o.Witness
 	s.Rvj += o.Rvj

@@ -16,9 +16,9 @@ import (
 func renderMatches(ms []Match) string {
 	var sb strings.Builder
 	for _, m := range ms {
-		fmt.Fprintf(&sb, "q%d l%d@%d r%d@%d roots(%d,%d) t%d b%v\n",
+		fmt.Fprintf(&sb, "q%d l%d@%d r%d@%d roots(%d,%d) t%q b%v\n",
 			m.Query, m.LeftDoc, m.LeftTS, m.RightDoc, m.RightTS,
-			m.LeftRoot, m.RightRoot, templateOrd(m.Template), m.Bindings)
+			m.LeftRoot, m.RightRoot, templateSig(m.Template), m.Bindings)
 	}
 	return sb.String()
 }

@@ -1,0 +1,46 @@
+package core
+
+import (
+	"hash/fnv"
+
+	"repro/internal/xscl"
+)
+
+// Subscription partitioning (the engine-of-engines router tier,
+// internal/router) assigns each query to one of N processors by hashing a
+// canonical key of the state it shares: the canonical template signature for
+// join queries, the canonical pattern key for single-block queries. Queries
+// that would share a template (and thus join state, RT rows and view-cache
+// entries) on a single processor land on the same partition, so partitioning
+// splits the template population rather than duplicating it. The key
+// computation reuses the exact canonicalization pipeline Register runs —
+// BuildJoinGraph → Minor → Canonicalize — so the key agrees with template
+// identity by construction.
+
+// PartitionKey returns the canonical partitioning key of q: two queries get
+// equal keys exactly when a single processor would register them on the same
+// template (join queries) or the same shared pattern (single-block queries).
+// The error cases are the same analysis errors Register would report.
+func PartitionKey(q *xscl.Query) (string, error) {
+	if q.Op == xscl.OpNone {
+		norm, _ := q.Left.NormalizedFullyBound()
+		return "single|" + norm.CanonicalKey(), nil
+	}
+	jg, err := BuildJoinGraph(q)
+	if err != nil {
+		return "", err
+	}
+	sig, _ := Canonicalize(jg.Minor())
+	return sig, nil
+}
+
+// PartitionOf hashes a PartitionKey onto one of n partitions (FNV-1a, the
+// same family shardOfString uses for view-cache ownership).
+func PartitionOf(key string, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return int(h.Sum64() % uint64(n))
+}

@@ -35,10 +35,18 @@ func (p *Processor) ProcessBatch(stream string, docs []*xmldoc.Document) [][]Mat
 // the sequential path would. deliver may itself call Process (for derived
 // documents) but must not call Register, Unregister or ProcessBatch.
 func (p *Processor) ProcessBatchFunc(stream string, docs []*xmldoc.Document, deliver func(i int, matches []Match)) {
-	depth := p.cfg.PipelineDepth
+	RunBatch(p, p.cfg.PipelineDepth, stream, docs, deliver)
+}
+
+// RunBatch drives docs through any Backend with up to depth documents'
+// Stage 1 in flight ahead of the in-order consume — ProcessBatchFunc
+// generalized over Backend, so the partition router's batch path reuses the
+// same machinery. depth <= 1 (or a single document) selects the sequential
+// per-document path; output is identical for every depth.
+func RunBatch(b Backend, depth int, stream string, docs []*xmldoc.Document, deliver func(i int, matches []Match)) {
 	if depth <= 1 || len(docs) <= 1 {
 		for i, d := range docs {
-			deliver(i, p.Process(stream, d))
+			deliver(i, b.ConsumeStage1(b.RunStage1(stream, d)))
 		}
 		return
 	}
@@ -46,7 +54,7 @@ func (p *Processor) ProcessBatchFunc(stream string, docs []*xmldoc.Document, del
 	if workers > len(docs) {
 		workers = len(docs)
 	}
-	ing := NewIngest(p, IngestConfig{Depth: depth, Workers: workers})
+	ing := NewIngest(b, IngestConfig{Depth: depth, Workers: workers})
 	for i, d := range docs {
 		i := i
 		// Submit blocks at the admission bound, so the batch never runs

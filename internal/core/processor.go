@@ -224,7 +224,7 @@ func (p *Processor) NumQueries() int { return p.numQueries }
 func (p *Processor) Stats() Stats {
 	s := p.stats
 	for _, sh := range p.shards {
-		s.add(sh.stats)
+		s.Add(sh.stats)
 	}
 	return s
 }
@@ -783,6 +783,12 @@ func (p *Processor) consumeStage1(r *stage1Result) []Match {
 		stage2 = time.Since(t)
 		p.stats.Stage2Wall += stage2
 	}
+	// The full per-document set — single-block and Stage-2 matches alike —
+	// leaves under the canonical total order, so output depends only on the
+	// registered query set, never on pattern registration order. That
+	// N-invariance is what lets a partition router re-sort the concatenation
+	// of N engines' streams into the single-engine byte order.
+	sortMatches(out)
 
 	t2 := time.Now()
 	p.state.Merge(w, p.cfg.RetainDocuments)
@@ -831,6 +837,20 @@ func (p *Processor) consumeStage1(r *stage1Result) []Match {
 // document triggered.
 func (p *Processor) Process(stream string, d *xmldoc.Document) []Match {
 	return p.consumeStage1(p.runStage1(stream, d))
+}
+
+// RunStage1 implements Backend: the document-local, state-free half of
+// processing, safe to run concurrently for different documents as long as no
+// Register/Unregister runs alongside.
+func (p *Processor) RunStage1(stream string, d *xmldoc.Document) Stage1Result {
+	return p.runStage1(stream, d)
+}
+
+// ConsumeStage1 implements Backend: the order-sensitive tail for a result of
+// this processor's RunStage1. Calls must be made in admission order, never
+// concurrently.
+func (p *Processor) ConsumeStage1(r Stage1Result) []Match {
+	return p.consumeStage1(r.(*stage1Result))
 }
 
 func (t *Template) headVars() []string {

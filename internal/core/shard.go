@@ -406,13 +406,19 @@ func (p *Processor) evalShardViewMat(sh *shard, w *CurrentWitness, d *xmldoc.Doc
 	return out
 }
 
-// sortMatches orders Stage-2 matches under a total order so the merged
-// output is identical regardless of how templates are sharded across
-// workers. Ties are broken down to the binding vector; fully equal matches
-// are interchangeable.
+// sortMatches orders matches under a total order so the merged output is
+// identical regardless of how templates are sharded across workers — or how
+// queries are partitioned across routed engines. Ties are broken down to the
+// binding vector; fully equal matches are interchangeable.
 func sortMatches(ms []Match) {
 	sort.Slice(ms, func(i, j int) bool { return matchLess(&ms[i], &ms[j]) })
 }
+
+// SortMatches applies the canonical total order to ms in place. It is the
+// order every per-document match set leaves ConsumeStage1 in, exported so a
+// partition router can merge N engines' relabeled streams by concatenating
+// and re-sorting — landing on the exact single-engine byte order.
+func SortMatches(ms []Match) { sortMatches(ms) }
 
 func matchLess(a, b *Match) bool {
 	if a.Query != b.Query {
@@ -430,7 +436,7 @@ func matchLess(a, b *Match) bool {
 	if a.RightRoot != b.RightRoot {
 		return a.RightRoot < b.RightRoot
 	}
-	at, bt := templateOrd(a.Template), templateOrd(b.Template)
+	at, bt := templateSig(a.Template), templateSig(b.Template)
 	if at != bt {
 		return at < bt
 	}
@@ -445,9 +451,15 @@ func matchLess(a, b *Match) bool {
 	return false
 }
 
-func templateOrd(t *Template) TemplateID {
+// templateSig is the template tie-break key. The canonical signature — not
+// Template.ID — because ids are allocation-ordered per processor: a template
+// created earlier by an unrelated query on one engine can invert the
+// relative id order another engine assigns, so ids cannot order matches
+// consistently across partitions. Signatures are global. nil (a single-block
+// match) sorts first, as the old -1 id sentinel did.
+func templateSig(t *Template) string {
 	if t == nil {
-		return -1
+		return ""
 	}
-	return t.ID
+	return t.Sig
 }

@@ -1,7 +1,9 @@
 package mmqjp
 
 import (
+	"bufio"
 	"bytes"
+	"compress/gzip"
 	"errors"
 	"fmt"
 	"io"
@@ -81,13 +83,29 @@ func (s *MemStore) Open() (io.ReadCloser, error) {
 // snapshot — never a torn one.
 type FileStore struct {
 	path string
+	gzip bool
 	mu   sync.Mutex
+}
+
+// StoreOption configures a FileStore.
+type StoreOption func(*FileStore)
+
+// WithGzip makes Save gzip-compress the snapshot file. Open is
+// format-sniffing either way: it decompresses gzipped files and passes
+// plain ones through, so a store can be switched to (or away from)
+// compression and still restore every previously saved snapshot.
+func WithGzip() StoreOption {
+	return func(s *FileStore) { s.gzip = true }
 }
 
 // NewFileStore returns a store backed by the file at path. The file need
 // not exist yet; its directory must.
-func NewFileStore(path string) *FileStore {
-	return &FileStore{path: path}
+func NewFileStore(path string, opts ...StoreOption) *FileStore {
+	s := &FileStore{path: path}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
 }
 
 // Path returns the snapshot file's path.
@@ -104,9 +122,23 @@ func (s *FileStore) Save(write func(w io.Writer) error) error {
 		return fmt.Errorf("mmqjp: snapshot store: %w", err)
 	}
 	defer os.Remove(tmp.Name()) // no-op after the rename
-	if err := write(tmp); err != nil {
+	var w io.Writer = tmp
+	var zw *gzip.Writer
+	if s.gzip {
+		zw = gzip.NewWriter(tmp)
+		w = zw
+	}
+	if err := write(w); err != nil {
 		tmp.Close()
 		return err
+	}
+	// The gzip stream must be finalized before the fsync, or the file would
+	// be durably truncated mid-stream.
+	if zw != nil {
+		if err := zw.Close(); err != nil {
+			tmp.Close()
+			return fmt.Errorf("mmqjp: snapshot store: %w", err)
+		}
 	}
 	if err := tmp.Sync(); err != nil {
 		tmp.Close()
@@ -121,7 +153,10 @@ func (s *FileStore) Save(write func(w io.Writer) error) error {
 	return nil
 }
 
-// Open opens the snapshot file; a missing file reports ErrNoSnapshot.
+// Open opens the snapshot file; a missing file reports ErrNoSnapshot. The
+// on-disk format is sniffed — gzipped snapshots are decompressed, plain
+// JSON passes through — independent of whether this store was built with
+// WithGzip, so restores work across compression-setting changes.
 func (s *FileStore) Open() (io.ReadCloser, error) {
 	f, err := os.Open(s.path)
 	if errors.Is(err, os.ErrNotExist) {
@@ -130,5 +165,45 @@ func (s *FileStore) Open() (io.ReadCloser, error) {
 	if err != nil {
 		return nil, fmt.Errorf("mmqjp: snapshot store: %w", err)
 	}
-	return f, nil
+	br := bufio.NewReader(f)
+	magic, err := br.Peek(2)
+	if err == nil && magic[0] == 0x1f && magic[1] == 0x8b {
+		zr, err := gzip.NewReader(br)
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("mmqjp: snapshot store: %w", err)
+		}
+		return &gzipReadCloser{zr: zr, f: f}, nil
+	}
+	// A snapshot shorter than two bytes is not valid JSON either; let the
+	// decoder report that rather than masking the Peek error here.
+	return &bufReadCloser{br: br, f: f}, nil
 }
+
+// gzipReadCloser closes both the gzip stream (verifying its checksum was
+// intact as far as it was read) and the underlying file.
+type gzipReadCloser struct {
+	zr *gzip.Reader
+	f  *os.File
+}
+
+func (g *gzipReadCloser) Read(p []byte) (int, error) { return g.zr.Read(p) }
+
+func (g *gzipReadCloser) Close() error {
+	zerr := g.zr.Close()
+	ferr := g.f.Close()
+	if zerr != nil {
+		return zerr
+	}
+	return ferr
+}
+
+// bufReadCloser keeps the sniffing bufio.Reader (which holds the peeked
+// bytes) in front of the file.
+type bufReadCloser struct {
+	br *bufio.Reader
+	f  *os.File
+}
+
+func (b *bufReadCloser) Read(p []byte) (int, error) { return b.br.Read(p) }
+func (b *bufReadCloser) Close() error               { return b.f.Close() }
