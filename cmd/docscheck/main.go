@@ -5,7 +5,7 @@
 //
 //	docscheck README.md TUNING.md DESIGN.md
 //
-// Two checks run over every file given:
+// Three checks run over every file given:
 //
 //   - Every fenced ```go block must be a complete, compilable Go file. Each
 //     block is extracted into a throwaway package directory inside the
@@ -15,6 +15,10 @@
 //   - Every intra-repo markdown link — `[text](target)` where the target is
 //     not an external URL or a pure fragment — must point at an existing
 //     file or directory, resolved relative to the markdown file.
+//   - Every //mmqjp: directive appearing inside any fenced code block must
+//     parse under the grammar in internal/lint (known name, argument arity),
+//     so the documented examples can never drift from what mmqjplint
+//     actually accepts.
 //
 // Exit status is 1 if any block fails to build or any link is broken, with
 // one diagnostic line per failure.
@@ -27,6 +31,8 @@ import (
 	"path/filepath"
 	"regexp"
 	"strings"
+
+	"repro/internal/lint"
 )
 
 func main() {
@@ -51,12 +57,16 @@ func main() {
 			fmt.Fprintln(os.Stderr, msg)
 			failures++
 		}
+		for _, msg := range checkDirectives(path, text) {
+			fmt.Fprintln(os.Stderr, msg)
+			failures++
+		}
 	}
 	if failures > 0 {
 		fmt.Fprintf(os.Stderr, "docscheck: %d failure(s)\n", failures)
 		os.Exit(1)
 	}
-	fmt.Println("docscheck: all go blocks compile, all intra-repo links resolve")
+	fmt.Println("docscheck: all go blocks compile, all intra-repo links resolve, all //mmqjp: examples parse")
 }
 
 // goBlock is one fenced ```go block with the line it starts on.
@@ -146,6 +156,32 @@ func checkLinks(path, text string) (msgs []string) {
 			if _, err := os.Stat(filepath.Join(dir, target)); err != nil {
 				msgs = append(msgs, fmt.Sprintf("%s:%d: broken link %q", path, i+1, m[1]))
 			}
+		}
+	}
+	return msgs
+}
+
+// checkDirectives validates every //mmqjp: directive inside fenced code
+// blocks (any fence tag) against the grammar table in internal/lint. Doc
+// examples of the annotation language must stay parseable by mmqjplint.
+func checkDirectives(path, text string) (msgs []string) {
+	inBlock := false
+	for i, line := range strings.Split(text, "\n") {
+		trimmed := strings.TrimSpace(line)
+		if strings.HasPrefix(trimmed, "```") {
+			inBlock = !inBlock
+			continue
+		}
+		if !inBlock {
+			continue
+		}
+		idx := strings.Index(line, lint.DirectivePrefix)
+		if idx < 0 {
+			continue
+		}
+		directive := strings.TrimRight(line[idx:], " \t")
+		if _, _, err := lint.ParseDirectiveText(directive); err != nil {
+			msgs = append(msgs, fmt.Sprintf("%s:%d: bad //mmqjp: directive example: %v", path, i+1, err))
 		}
 	}
 	return msgs

@@ -196,19 +196,28 @@ type Engine struct {
 	// so the pipeline cannot spin up — and start Stage-1 workers that read
 	// the registration structures — in the middle of a registration.
 	ingestMu sync.Mutex
-	ing      *core.Ingest
+	//mmqjp:guardedby e.ingestMu
+	ing *core.Ingest
 
 	// queries is indexed by QueryID; Unsubscribe leaves a nil slot so ids
 	// stay stable across churn. numQueries counts live subscriptions.
-	queries    []*xscl.Query
+	//
+	//mmqjp:guardedby e.mu
+	queries []*xscl.Query
+	//mmqjp:guardedby e.mu
 	numQueries int
-	docs       map[xmldoc.DocID]*xmldoc.Document
+	//mmqjp:guardedby e.mu
+	docs map[xmldoc.DocID]*xmldoc.Document
 
 	// nextDerived allocates ids for documents synthesized by query
 	// composition, well away from caller-assigned ids.
+	//
+	//mmqjp:guardedby e.mu
 	nextDerived int64
 	// droppedCascades counts derived documents discarded at
 	// MaxCompositionDepth (a symptom of a cyclic query network).
+	//
+	//mmqjp:guardedby e.mu
 	droppedCascades int64
 }
 
@@ -292,6 +301,9 @@ func (e *Engine) MustSubscribe(src string) QueryID {
 	return id
 }
 
+// subscribe registers one parsed query under the next QueryID.
+//
+//mmqjp:guardedby e.mu
 func (e *Engine) subscribe(q *xscl.Query) (QueryID, error) {
 	var id QueryID
 	if e.seq != nil {
@@ -430,6 +442,9 @@ func (e *Engine) publishOne(stream string, d *Document) []Match {
 	return e.publish(stream, d, 0)
 }
 
+// publish processes one document and runs the composition cascade.
+//
+//mmqjp:guardedby e.mu
 func (e *Engine) publish(stream string, d *Document, depth int) []Match {
 	if e.opts.RetainDocuments {
 		e.docs[d.ID] = d
@@ -452,7 +467,9 @@ func (e *Engine) publish(stream string, d *Document, depth int) []Match {
 }
 
 // convertMatches lifts core matches into the public Match type, resolving
-// each query's PUBLISH stream. Callers must hold e.mu (it reads e.queries).
+// each query's PUBLISH stream (it reads e.queries).
+//
+//mmqjp:guardedby e.mu
 func (e *Engine) convertMatches(cms []core.Match) []Match {
 	var out []Match
 	for _, m := range cms {
@@ -470,6 +487,8 @@ func (e *Engine) convertMatches(cms []core.Match) []Match {
 // cascade republishes each PUBLISH match of out as a derived document and
 // appends the resulting matches. Derived matches cascade recursively inside
 // their own publish call, so only the original slice is scanned here.
+//
+//mmqjp:guardedby e.mu
 func (e *Engine) cascade(out []Match, depth int) []Match {
 	if !e.opts.EnableComposition {
 		return out
@@ -567,6 +586,7 @@ func (e *Engine) publishAsync(stream string, d *Document) <-chan []Match {
 		// Runs on the pipeline coordinator under e.mu (write), in
 		// admission order — the same critical section a serial Publish
 		// holds for this document.
+		//mmqjp:guardedby e.mu
 		if e.opts.RetainDocuments {
 			e.docs[d.ID] = d
 		}
@@ -691,6 +711,8 @@ func (e *Engine) DroppedCascades() int64 {
 // predicates on different branches); for single-predicate queries the
 // output carries the joined leaf's subtree. The derived document's
 // timestamp is the triggering (later) event time.
+//
+//mmqjp:guardedby e.mu
 func (e *Engine) deriveDocument(m Match) (*Document, bool) {
 	ld := e.docs[xmldoc.DocID(m.LeftDoc)]
 	rd := e.docs[xmldoc.DocID(m.RightDoc)]

@@ -81,7 +81,8 @@ type Ingest struct {
 
 	// admit serializes admission (and Close): the order goroutines win it
 	// is the pipeline's serial document order.
-	admit  sync.Mutex
+	admit sync.Mutex
+	//mmqjp:guardedby in.admit
 	closed bool
 
 	// coordQ carries jobs to the coordinator in admission order and its

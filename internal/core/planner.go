@@ -148,6 +148,8 @@ func (p *Processor) planStatsFor(sig string) *planStats {
 
 // sampler returns the template's exploration PRNG, seeding it
 // deterministically from the configured seed and the template signature.
+//
+//mmqjp:nondet seeded deterministic exploration PRNG (same seed+sig -> same draws)
 func (ps *planStats) sampler(seed int64, sig string) *rand.Rand {
 	if ps.rng == nil {
 		if seed == 0 {
@@ -184,6 +186,8 @@ type planDecision struct {
 // document and records the decision-time statistics. perDoc is the
 // per-previous-document fan-out of the value-join pair relation (basic
 // path) or of the shared left view RL (view-materialization path).
+//
+//mmqjp:nondet exploration draws come from the seeded template PRNG (sampler)
 func (p *Processor) choosePlan(t *Template, perDoc map[xmldoc.DocID]int) planDecision {
 	ps := t.plan
 	// Forced plans return before any estimation: the fan-out estimate is
@@ -268,6 +272,9 @@ const (
 // ExploreWall, not CQ. witness and rtDriven are closures over the shard's
 // evaluation context; rtDriven additionally reports how many vector groups
 // it probed.
+//
+//mmqjp:nondet wall-clock cost calibration; plan choice is output-invisible
+//mmqjp:shardaccess called from the owning shard's evaluation; timings land on that shard
 func (p *Processor) runPlans(sh *shard, t *Template, d planDecision,
 	witness func() []Match, rtDriven func() ([]Match, int)) []Match {
 	ps := t.plan

@@ -221,6 +221,8 @@ func (p *Processor) NumQueries() int { return p.numQueries }
 // (Stage 1, maintenance, Stage-2 wall clock) plus every shard's Stage-2
 // phase times. With Workers > 1 the shard phases are CPU time summed across
 // workers.
+//
+//mmqjp:shardaccess barrier-time collection; the engine facade serializes Stats against Process
 func (p *Processor) Stats() Stats {
 	s := p.stats
 	for _, sh := range p.shards {
@@ -230,6 +232,8 @@ func (p *Processor) Stats() Stats {
 }
 
 // ResetStats zeroes the accumulated phase timings.
+//
+//mmqjp:shardaccess barrier-time reset; the engine facade serializes it against Process
 func (p *Processor) ResetStats() {
 	p.stats = Stats{}
 	for _, sh := range p.shards {
@@ -396,6 +400,8 @@ func (p *Processor) MustUnregister(qid QueryID) {
 // group entry, its pattern contributions, and — when it was the template's
 // last instance — the template itself. It is both the Unregister work-horse
 // and the rollback path of a partially failed Register.
+//
+//mmqjp:shardaccess registration-quiesced; Unregister never runs concurrently with Process
 func (p *Processor) unregisterInstance(iid int64) {
 	inst := p.instances[iid]
 	t := inst.tmpl
@@ -426,6 +432,8 @@ func (p *Processor) unregisterInstance(iid int64) {
 // slot, RT relation and RT index are dropped, freeing the slot for future
 // templates (assignShard fills the least-loaded shard first, so churn
 // compacts instead of skewing).
+//
+//mmqjp:shardaccess registration-quiesced; Unregister never runs concurrently with Process
 func (p *Processor) removeTemplate(t *Template) {
 	delete(p.templates, t.Sig)
 	p.templateList = removeFirst(p.templateList, t)
@@ -468,6 +476,8 @@ func (p *Processor) recomputeWindows() {
 // released, making the processor observationally identical to a fresh one
 // (query and template ids are still never reused; the caches' cumulative
 // hit/miss/invalidation counters survive, like any diagnostics counter).
+//
+//mmqjp:shardaccess registration-quiesced; runs inside Unregister
 func (p *Processor) reclaimAll() {
 	p.state = NewState()
 	p.stats = Stats{}
@@ -489,6 +499,8 @@ func (p *Processor) MustRegister(q *xscl.Query) QueryID {
 // registerInstance registers one orientation of a join query and returns its
 // instance id. All mutations happen after the fallible analysis steps, so a
 // returned error implies no processor state changed.
+//
+//mmqjp:shardaccess registration-quiesced; Register never runs concurrently with Process
 func (p *Processor) registerInstance(q *xscl.Query, qid QueryID, swapped bool) (int64, error) {
 	jg, err := BuildJoinGraph(q)
 	if err != nil {
@@ -717,6 +729,8 @@ type stage1Result struct {
 // registration-time structures (the shared NFA, pattern infos, query lists),
 // so concurrent calls for different documents are safe as long as no
 // Register or Unregister runs concurrently.
+//
+//mmqjp:nondet wall-clock stats timing (output-invisible)
 func (p *Processor) runStage1(stream string, d *xmldoc.Document) *stage1Result {
 	r := &stage1Result{doc: d, w: NewCurrentWitness(d)}
 	t0 := time.Now()
@@ -768,6 +782,9 @@ func (p *Processor) runStage1(stream string, d *xmldoc.Document) *stage1Result {
 // coordinator: Stage-2 template evaluation against the join state, the
 // Algorithm-2 state merge, view-cache maintenance, and window GC. Results
 // must be consumed in arrival order.
+//
+//mmqjp:nondet wall-clock stats timing (output-invisible)
+//mmqjp:shardaccess coordinator section after Stage-2 workers drain; GC invalidates every shard's cache
 func (p *Processor) consumeStage1(r *stage1Result) []Match {
 	d, w := r.doc, r.w
 	p.stats.Documents++
@@ -997,6 +1014,8 @@ func (p *Processor) viewMatAtoms(sh *shard, t *Template, w *CurrentWitness, rl, 
 // maintainCache implements Algorithm 5: fold the current document's RR
 // bindings into the cached RL slices so future documents find them. Each
 // string's slice lives in the cache of the shard that owns the string.
+//
+//mmqjp:shardaccess coordinator maintenance after Stage-2 workers drain
 func (p *Processor) maintainCache(w *CurrentWitness) {
 	if w.rrSlices == nil {
 		return

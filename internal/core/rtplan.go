@@ -80,6 +80,7 @@ func (t *Template) removeVector(key string, iid int64) {
 // relation.
 func witnessFanout(perDoc map[xmldoc.DocID]int, k int) float64 {
 	est := 0.0
+	//mmqjp:unordered float cost estimate feeding plan choice, which is output-invisible
 	for _, n := range perDoc {
 		est += math.Pow(float64(n), float64(k))
 		if est > 1e15 {

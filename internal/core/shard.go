@@ -26,18 +26,25 @@ import (
 
 // shard is one unit of Stage-2 parallelism.
 type shard struct {
-	id        int
+	id int
+	//mmqjp:shardowned
 	templates []*Template // owned templates, in registration order
 
-	rt      map[TemplateID]*relation.Relation // RT per owned template
-	rtIndex map[TemplateID]*relation.Index    // index on RT var columns
+	//mmqjp:shardowned
+	rt map[TemplateID]*relation.Relation // RT per owned template
+	//mmqjp:shardowned
+	rtIndex map[TemplateID]*relation.Index // index on RT var columns
+	//mmqjp:shardowned
 	rtDirty map[TemplateID]bool
 
 	// cache holds the Section-5 RL slices of the strings this shard owns
 	// (shardOfString); ownership is stable, so Algorithm-5 maintenance
 	// and lookups always land on the same shard.
+	//
+	//mmqjp:shardowned
 	cache *ViewCache
 
+	//mmqjp:shardowned
 	stats Stats // Stage-2 phase timings and plan counts for this shard
 }
 
@@ -55,6 +62,8 @@ func newShard(id, cacheCapacity int) *shard {
 // currently owning the fewest templates, lowest id on ties — and records the
 // assignment. With no churn this degenerates to round-robin; under churn it
 // refills reclaimed slots, keeping the shards balanced.
+//
+//mmqjp:shardaccess registration-quiesced; assignment happens inside Register
 func (p *Processor) assignShard(t *Template) *shard {
 	best := p.shards[0]
 	for _, sh := range p.shards[1:] {
@@ -186,6 +195,9 @@ type stage2Shared struct {
 // sharedRvj returns the document's value-join pair relation, computing it
 // exactly once across all shards. The build cost is attributed to the
 // shard that happened to get there first.
+//
+//mmqjp:nondet wall-clock stats timing (output-invisible)
+//mmqjp:shardaccess called by the evaluating worker with its own shard (cost attribution)
 func (pre *stage2Shared) sharedRvj(p *Processor, w *CurrentWitness, sh *shard) *relation.Relation {
 	pre.rvjOnce.Do(func() {
 		t0 := time.Now()
@@ -208,6 +220,9 @@ func (pre *stage2Shared) sharedRvj(p *Processor, w *CurrentWitness, sh *shard) *
 // shard's cache), in parallel; the union is concatenated in sorted-string
 // order so its row order is independent of the worker count. Returns nil
 // when no string is shared with the join state (no template can match).
+//
+//mmqjp:nondet wall-clock stats timing (output-invisible)
+//mmqjp:shardaccess per-shard closures run on the owning shard's worker
 func (p *Processor) prepareViewMat(w *CurrentWitness) *stage2Shared {
 	// STR: distinct string values common to RdocW and Rdoc (line 2).
 	t0 := time.Now()
@@ -286,6 +301,9 @@ func (p *Processor) prepareViewMat(w *CurrentWitness) *stage2Shared {
 // The value-join pairs (the Rdoc ⋈ RdocW core) are recomputed per template
 // from the incremental string index — no sharing across templates, which is
 // precisely what the Section-5 optimization adds.
+//
+//mmqjp:nondet wall-clock stats timing (output-invisible)
+//mmqjp:shardaccess Stage-2 evaluation invoked on the owning shard's worker
 func (p *Processor) evalShardBasic(sh *shard, w *CurrentWitness, d *xmldoc.Document, run *splitRun) []Match {
 	var out []Match
 	var subs *docSubsets
@@ -365,6 +383,8 @@ func (p *Processor) witnessAtoms(sh *shard, t *Template, w *CurrentWitness, rvj 
 
 // evalShardViewMat implements the per-template tail of Algorithm 4 over one
 // shard's templates, against the shared RL/RR views of pre.
+//
+//mmqjp:shardaccess Stage-2 evaluation invoked on the owning shard's worker
 func (p *Processor) evalShardViewMat(sh *shard, w *CurrentWitness, d *xmldoc.Document, pre *stage2Shared, run *splitRun) []Match {
 	var out []Match
 	var subs *docSubsets

@@ -102,6 +102,7 @@ func (p *Processor) ExportState() StateSnapshot {
 	}
 	if len(s.docs) > 0 {
 		ids := make([]int64, 0, len(s.docs))
+		//mmqjp:unordered ids are sorted before the snapshot is emitted
 		for id := range s.docs {
 			ids = append(ids, int64(id))
 		}

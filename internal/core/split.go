@@ -136,6 +136,8 @@ func newSplitTask(owner, n int, exec func(int)) *splitTask {
 // claim executes chunks of t until the cursor is exhausted, reporting
 // whether it executed any. Thieves (sh.id != t.owner) count each claimed
 // chunk as a steal in their own shard's stats.
+//
+//mmqjp:shardaccess steal protocol: a thief records steals on its own shard's counters
 func (t *splitTask) claim(sh *shard) bool {
 	ran := false
 	for {
@@ -232,6 +234,8 @@ func chunkBounds(n, chunks int) [][2]int {
 // which distributes exactly over the bag-semantics join (see the package
 // comment above). atoms must be fully built by the owner (index builds and
 // other shard-state mutation happen in atom construction, not here).
+//
+//mmqjp:shardaccess split protocol: the owner records split counters before publishing chunks
 func (p *Processor) splitWitness(run *splitRun, sh *shard, t *Template, atoms []relation.Atom, d *xmldoc.Document) []Match {
 	scan := -1
 	for i, a := range atoms {
@@ -269,6 +273,8 @@ func (p *Processor) splitWitness(run *splitRun, sh *shard, t *Template, atoms []
 // per-group loop, so concatenation in chunk order is byte-identical to the
 // serial iteration. The owner pre-warms the shard-shared subset memos
 // before publishing so chunk executors only read them.
+//
+//mmqjp:shardaccess split protocol: the owner records split counters before publishing chunks
 func (p *Processor) splitRTDriven(run *splitRun, sh *shard, t *Template, w *CurrentWitness, rvj *relation.Relation, subs *docSubsets, d *xmldoc.Document) ([]Match, int) {
 	nchunks := splitChunkCount(len(t.vecList), len(p.shards))
 	if nchunks < 2 {

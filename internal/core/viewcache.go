@@ -120,10 +120,12 @@ func (c *ViewCache) InvalidateDocs(expired map[xmldoc.DocID]bool) {
 	if len(expired) == 0 || len(c.entries) == 0 {
 		return
 	}
+	//mmqjp:unordered each entry is checked and dropped independently
 	for key, e := range c.entries {
 		docs := e.Value.(*cacheEntry).docs
 		stale := false
 		if len(docs) <= len(expired) {
+			//mmqjp:unordered existence probe; any hit gives the same verdict
 			for d := range docs {
 				if expired[d] {
 					stale = true
@@ -131,6 +133,7 @@ func (c *ViewCache) InvalidateDocs(expired map[xmldoc.DocID]bool) {
 				}
 			}
 		} else {
+			//mmqjp:unordered existence probe; any hit gives the same verdict
 			for d := range expired {
 				if _, ok := docs[d]; ok {
 					stale = true

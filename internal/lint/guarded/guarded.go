@@ -1,0 +1,116 @@
+// Package guarded enforces lock discipline declared with //mmqjp: directives:
+// a field annotated `//mmqjp:guardedby e.mu` may only be accessed — and a
+// function so annotated may only be called — from a function that locks that
+// mutex, is itself annotated guardedby the same mutex, or carries
+// `//mmqjp:nolock <reason>` (exclusive access by construction, e.g. an engine
+// still under construction). Closures are first-class: a directive written
+// inside a function literal annotates that literal, and a literal whose body
+// locks the mutex justifies the accesses it contains.
+//
+// The analysis is flow-insensitive by design: it proves the author declared
+// the discipline at every access path, not that the lock is held on every
+// execution path. The race detector remains the dynamic backstop.
+package guarded
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint"
+)
+
+type analyzer struct{}
+
+// New returns the guarded analyzer.
+func New() lint.Analyzer { return analyzer{} }
+
+func (analyzer) Name() string { return "guarded" }
+
+func (a analyzer) Run(prog *lint.Program) []lint.Diagnostic {
+	guardedFields := map[*types.Var]string{} // field -> mutex field name
+	guardedFuncs := map[*types.Func]string{} // func  -> mutex field name
+	for _, pkg := range prog.Pkgs {
+		dirs := prog.DirectivesFor(pkg)
+		for v, ds := range dirs.Fields {
+			for _, d := range ds {
+				if d.Name == "guardedby" {
+					guardedFields[v] = lint.MutexName(d.Arg)
+				}
+			}
+		}
+		for fn, ds := range dirs.Funcs {
+			for _, d := range ds {
+				if d.Name == "guardedby" {
+					guardedFuncs[fn] = lint.MutexName(d.Arg)
+				}
+			}
+		}
+	}
+
+	var diags []lint.Diagnostic
+	for _, pkg := range prog.Pkgs {
+		dirs := prog.DirectivesFor(pkg)
+		for _, file := range pkg.Files {
+			callees := map[ast.Expr]bool{}
+			ast.Inspect(file, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					callees[call.Fun] = true
+				}
+				return true
+			})
+			ast.Inspect(file, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				switch obj := pkg.Info.Uses[sel.Sel].(type) {
+				case *types.Var:
+					if mu, ok := guardedFields[obj]; ok && !justified(file, sel.Sel.Pos(), mu, dirs) {
+						diags = append(diags, lint.Diagnostic{
+							Pos:      prog.Fset.Position(sel.Sel.Pos()),
+							Analyzer: "guarded",
+							Message: fmt.Sprintf("field %s is guarded by %s: no enclosing function locks it or is annotated %sguardedby (or %snolock)",
+								obj.Name(), mu, lint.DirectivePrefix, lint.DirectivePrefix),
+						})
+					}
+				case *types.Func:
+					if mu, ok := guardedFuncs[obj]; ok && callees[sel] && !justified(file, sel.Sel.Pos(), mu, dirs) {
+						diags = append(diags, lint.Diagnostic{
+							Pos:      prog.Fset.Position(sel.Sel.Pos()),
+							Analyzer: "guarded",
+							Message: fmt.Sprintf("call to %s requires holding %s (%sguardedby): no enclosing function locks it or is annotated",
+								obj.Name(), mu, lint.DirectivePrefix),
+						})
+					}
+				}
+				return true
+			})
+		}
+	}
+	return diags
+}
+
+// justified reports whether the access at pos is covered: some enclosing
+// function unit locks the mutex, is annotated guardedby the same mutex, or is
+// annotated nolock.
+func justified(file *ast.File, pos token.Pos, mutexName string, dirs *lint.Directives) bool {
+	units := lint.UnitsEnclosing(file, pos)
+	for _, u := range units {
+		if lint.UnitLocks(u, mutexName) {
+			return true
+		}
+		for _, d := range dirs.Units[u] {
+			switch d.Name {
+			case "nolock":
+				return true
+			case "guardedby":
+				if lint.MutexName(d.Arg) == mutexName {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,13 @@
+package guarded
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/linttest"
+)
+
+func TestFixture(t *testing.T) {
+	linttest.Golden(t, []lint.Analyzer{New()},
+		"../testdata/src/guarded", "../testdata/guarded.golden")
+}

@@ -1,0 +1,55 @@
+// Package linttest runs analyzers over fixture packages and compares their
+// diagnostics against golden files. Fixtures live under
+// internal/lint/testdata/src/<name> (standalone packages, standard-library
+// imports only); goldens under internal/lint/testdata/<name>.golden hold one
+// "file:line:col: [analyzer] message" line per expected diagnostic.
+// Regenerate goldens with `go test ./internal/lint/... -update`.
+package linttest
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files with current diagnostics")
+
+// Golden loads the fixture package in dir, runs the analyzers (plus the
+// framework's directive-grammar validation) and compares the rendered
+// diagnostics against the golden file.
+func Golden(t *testing.T, analyzers []lint.Analyzer, dir, golden string) {
+	t.Helper()
+	prog, err := lint.LoadDir(dir, "fixture")
+	if err != nil {
+		t.Fatalf("load fixture %s: %v", dir, err)
+	}
+	diags := lint.Run(prog, analyzers)
+	var sb strings.Builder
+	for _, d := range diags {
+		fmt.Fprintf(&sb, "%s:%d:%d: [%s] %s\n",
+			filepath.Base(d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+	}
+	got := sb.String()
+	if *update {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatalf("update golden: %v", err)
+		}
+		return
+	}
+	wantBytes, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden %s (run with -update to create): %v", golden, err)
+	}
+	want := string(wantBytes)
+	if got != want {
+		t.Errorf("diagnostics mismatch for %s\n--- got ---\n%s--- want (%s) ---\n%s", dir, got, golden, want)
+	}
+	if !strings.Contains(want, ": [") {
+		t.Errorf("golden %s contains no diagnostics: fixtures must prove the analyzer catches a seeded violation", golden)
+	}
+}

@@ -1,0 +1,233 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// The loader type-checks the module offline with the standard library alone:
+// module-internal packages are parsed from source and checked recursively in
+// dependency order; standard-library imports are delegated to the compiler's
+// source importer. No golang.org/x/tools, no export data, no network.
+
+// moduleImporter satisfies types.Importer for the chained scheme above.
+type moduleImporter struct {
+	fset       *token.FileSet
+	moduleRoot string
+	modulePath string
+	pkgs       map[string]*Package // import path -> checked package
+	loading    map[string]bool     // cycle guard (should never trip on a buildable tree)
+	std        types.Importer
+}
+
+func newModuleImporter(fset *token.FileSet, moduleRoot, modulePath string) *moduleImporter {
+	return &moduleImporter{
+		fset:       fset,
+		moduleRoot: moduleRoot,
+		modulePath: modulePath,
+		pkgs:       map[string]*Package{},
+		loading:    map[string]bool{},
+		std:        importer.ForCompiler(fset, "source", nil),
+	}
+}
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	if path == m.modulePath || strings.HasPrefix(path, m.modulePath+"/") {
+		pkg, err := m.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return m.std.Import(path)
+}
+
+// load parses and type-checks one module package (memoized).
+func (m *moduleImporter) load(path string) (*Package, error) {
+	if pkg, ok := m.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if m.loading[path] {
+		return nil, fmt.Errorf("import cycle through %s", path)
+	}
+	m.loading[path] = true
+	defer delete(m.loading, path)
+
+	rel := strings.TrimPrefix(strings.TrimPrefix(path, m.modulePath), "/")
+	dir := filepath.Join(m.moduleRoot, filepath.FromSlash(rel))
+	pkg, err := m.loadDir(dir, path)
+	if err != nil {
+		return nil, err
+	}
+	m.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// loadDir parses the non-test .go files of dir and type-checks them as
+// import path pkgPath.
+func (m *moduleImporter) loadDir(dir, pkgPath string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lint: read %s: %w", dir, err)
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(m.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parse: %w", err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: m}
+	tpkg, err := conf.Check(pkgPath, m.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-check %s: %w", pkgPath, err)
+	}
+	return &Package{Path: pkgPath, Dir: dir, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// Load type-checks the module rooted at moduleRoot and returns a Program over
+// the packages matching patterns. The only patterns supported are "./..."
+// (every package in the module) and module-relative directories ("./internal/core").
+func Load(moduleRoot string, patterns []string) (*Program, error) {
+	modulePath, err := modulePathOf(moduleRoot)
+	if err != nil {
+		return nil, err
+	}
+	var dirs []string
+	for _, pat := range patterns {
+		switch {
+		case pat == "./..." || pat == "...":
+			all, err := packageDirs(moduleRoot)
+			if err != nil {
+				return nil, err
+			}
+			dirs = append(dirs, all...)
+		default:
+			dirs = append(dirs, filepath.Clean(strings.TrimPrefix(pat, "./")))
+		}
+	}
+	fset := token.NewFileSet()
+	imp := newModuleImporter(fset, moduleRoot, modulePath)
+	prog := &Program{Fset: fset, ByPath: map[string]*Package{}}
+	for _, rel := range dirs {
+		path := modulePath
+		if rel != "." {
+			path = modulePath + "/" + filepath.ToSlash(rel)
+		}
+		if _, ok := prog.ByPath[path]; ok {
+			continue
+		}
+		pkg, err := imp.load(path)
+		if err != nil {
+			return nil, err
+		}
+		prog.Pkgs = append(prog.Pkgs, pkg)
+		prog.ByPath[path] = pkg
+	}
+	return prog, nil
+}
+
+// LoadDir type-checks a single standalone package (standard-library imports
+// only) as a Program — the fixture-loading mode of the analyzer tests.
+func LoadDir(dir, pkgPath string) (*Program, error) {
+	fset := token.NewFileSet()
+	imp := newModuleImporter(fset, dir, pkgPath+"/_none_")
+	pkg, err := imp.loadDir(dir, pkgPath)
+	if err != nil {
+		return nil, err
+	}
+	return &Program{
+		Fset:   fset,
+		Pkgs:   []*Package{pkg},
+		ByPath: map[string]*Package{pkgPath: pkg},
+	}, nil
+}
+
+// modulePathOf reads the module path from moduleRoot/go.mod.
+func modulePathOf(moduleRoot string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(moduleRoot, "go.mod"))
+	if err != nil {
+		return "", fmt.Errorf("lint: %w", err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module line in %s/go.mod", moduleRoot)
+}
+
+// packageDirs lists every module directory containing non-test .go files,
+// relative to moduleRoot ("." for the root package). testdata, hidden and
+// underscore-prefixed directories are skipped, matching the go tool.
+func packageDirs(moduleRoot string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(moduleRoot, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != moduleRoot && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(d.Name(), ".go") || strings.HasSuffix(d.Name(), "_test.go") {
+			return nil
+		}
+		rel, err := filepath.Rel(moduleRoot, filepath.Dir(path))
+		if err != nil {
+			return err
+		}
+		if len(dirs) == 0 || dirs[len(dirs)-1] != rel {
+			dirs = append(dirs, rel)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	dirs = dedupeSorted(dirs)
+	return dirs, nil
+}
+
+func dedupeSorted(s []string) []string {
+	out := s[:0]
+	for i, v := range s {
+		if i == 0 || s[i-1] != v {
+			out = append(out, v)
+		}
+	}
+	return out
+}

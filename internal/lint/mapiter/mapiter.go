@@ -1,0 +1,225 @@
+// Package mapiter flags `for range` over map-typed values in packages on the
+// engine's output path. Go randomizes map iteration order, so any such loop
+// whose effect depends on visit order breaks the byte-identical-output
+// guarantee. A loop passes if it is annotated `//mmqjp:unordered <reason>`
+// (same line or the line above) or if its body is provably order-insensitive:
+// it only writes map entries keyed by the range key, accumulates through
+// commutative compound assignments (`+=`, `|=`, ...), increments/decrements,
+// or deletes map entries. Anything else — appending to a slice, calling a
+// function, assigning a "last wins" scalar — is order-sensitive and flagged.
+package mapiter
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+
+	"repro/internal/lint"
+)
+
+// Config scopes enforcement. Enforce receives the package import path and the
+// base name of the file.
+type Config struct {
+	Enforce func(pkgPath, file string) bool
+}
+
+type analyzer struct{ cfg Config }
+
+// New returns the mapiter analyzer.
+func New(cfg Config) lint.Analyzer { return analyzer{cfg} }
+
+func (analyzer) Name() string { return "mapiter" }
+
+func (a analyzer) Run(prog *lint.Program) []lint.Diagnostic {
+	var diags []lint.Diagnostic
+	for _, pkg := range prog.Pkgs {
+		dirs := prog.DirectivesFor(pkg)
+		for _, file := range pkg.Files {
+			fname := prog.Fset.Position(file.Pos()).Filename
+			if a.cfg.Enforce != nil && !a.cfg.Enforce(pkg.Path, filepath.Base(fname)) {
+				continue
+			}
+			ast.Inspect(file, func(n ast.Node) bool {
+				rng, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				tv, ok := pkg.Info.Types[rng.X]
+				if !ok {
+					return true
+				}
+				if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				line := prog.Fset.Position(rng.Pos()).Line
+				if _, ok := dirs.At(fname, line, "unordered"); ok {
+					return true
+				}
+				if orderInsensitive(rng, pkg.Info) {
+					return true
+				}
+				diags = append(diags, lint.Diagnostic{
+					Pos:      prog.Fset.Position(rng.Pos()),
+					Analyzer: "mapiter",
+					Message: fmt.Sprintf("range over map %s has an order-sensitive body; sort the keys or annotate with %sunordered <reason>",
+						types.ExprString(rng.X), lint.DirectivePrefix),
+				})
+				return true
+			})
+		}
+	}
+	return diags
+}
+
+// orderInsensitive reports whether every statement of the loop body has the
+// same net effect under any iteration order.
+func orderInsensitive(rng *ast.RangeStmt, info *types.Info) bool {
+	keyObj := rangeVarObj(rng.Key, info)
+	for _, st := range rng.Body.List {
+		if !allowedStmt(st, keyObj, info) {
+			return false
+		}
+	}
+	return true
+}
+
+func rangeVarObj(key ast.Expr, info *types.Info) types.Object {
+	id, ok := key.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	if obj := info.Defs[id]; obj != nil {
+		return obj
+	}
+	return info.Uses[id]
+}
+
+func allowedStmt(st ast.Stmt, keyObj types.Object, info *types.Info) bool {
+	switch s := st.(type) {
+	case *ast.AssignStmt:
+		return allowedAssign(s, keyObj, info)
+	case *ast.IncDecStmt:
+		return true
+	case *ast.ExprStmt:
+		return isDeleteCall(s.X, info)
+	case *ast.IfStmt:
+		if s.Init != nil || hasEffectfulCall(s.Cond, info) {
+			return false
+		}
+		for _, b := range s.Body.List {
+			if !allowedStmt(b, keyObj, info) {
+				return false
+			}
+		}
+		if s.Else != nil {
+			return allowedStmt(s.Else, keyObj, info)
+		}
+		return true
+	case *ast.BlockStmt:
+		for _, b := range s.List {
+			if !allowedStmt(b, keyObj, info) {
+				return false
+			}
+		}
+		return true
+	case *ast.BranchStmt:
+		return s.Tok == token.CONTINUE && s.Label == nil
+	default:
+		return false
+	}
+}
+
+// allowedAssign accepts two shapes: `m[k] = v` where k is the range key (each
+// iteration writes a distinct entry), and commutative compound assignments
+// (`x += v` and friends). In both, the right-hand sides must be free of
+// function calls (a call could observe iteration order through side effects).
+func allowedAssign(s *ast.AssignStmt, keyObj types.Object, info *types.Info) bool {
+	for _, rhs := range s.Rhs {
+		if hasEffectfulCall(rhs, info) {
+			return false
+		}
+	}
+	switch s.Tok {
+	case token.ASSIGN:
+		for _, lhs := range s.Lhs {
+			if !isMapIndexByKey(lhs, keyObj, info) && !isBlank(lhs) {
+				return false
+			}
+		}
+		return true
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN:
+		return true
+	default:
+		return false
+	}
+}
+
+// isMapIndexByKey reports whether lhs is m[expr] with m a map and expr
+// mentioning the range key variable, so each iteration targets its own entry.
+func isMapIndexByKey(lhs ast.Expr, keyObj types.Object, info *types.Info) bool {
+	ix, ok := lhs.(*ast.IndexExpr)
+	if !ok || keyObj == nil {
+		return false
+	}
+	tv, ok := info.Types[ix.X]
+	if !ok {
+		return false
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return false
+	}
+	mentions := false
+	ast.Inspect(ix.Index, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == keyObj {
+			mentions = true
+		}
+		return !mentions
+	})
+	return mentions
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+func isDeleteCall(e ast.Expr, info *types.Info) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "delete"
+}
+
+// hasEffectfulCall reports whether expr contains a call other than to the
+// pure builtins len and cap or a type conversion.
+func hasEffectfulCall(expr ast.Expr, info *types.Info) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := call.Fun.(*ast.Ident); ok {
+			if b, ok := info.Uses[id].(*types.Builtin); ok && (b.Name() == "len" || b.Name() == "cap") {
+				return true
+			}
+		}
+		if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+			return true // conversion
+		}
+		found = true
+		return false
+	})
+	return found
+}

@@ -1,0 +1,13 @@
+package mapiter
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/linttest"
+)
+
+func TestFixture(t *testing.T) {
+	linttest.Golden(t, []lint.Analyzer{New(Config{})},
+		"../testdata/src/mapiter", "../testdata/mapiter.golden")
+}

@@ -1,0 +1,43 @@
+package rules
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// TestTreeIsClean is the `mmqjplint ./...` gate as a test: the full analyzer
+// suite must produce zero diagnostics on the real tree. A failure here means
+// a change broke a machine-checked invariant (or needs a //mmqjp: annotation
+// with a reason).
+func TestTreeIsClean(t *testing.T) {
+	root := moduleRoot(t)
+	prog, err := lint.Load(root, []string{"./..."})
+	if err != nil {
+		t.Fatalf("load module: %v", err)
+	}
+	diags := lint.Run(prog, Default())
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}
+
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above test directory")
+		}
+		dir = parent
+	}
+}

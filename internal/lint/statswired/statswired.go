@@ -1,0 +1,239 @@
+// Package statswired promotes the stats-plumbing reflection test to compile
+// time: every field of the core stats struct must be referenced in the merge
+// method (so per-shard counters survive aggregation) and read somewhere in
+// the surface package (so it reaches the engine-level stats type), and every
+// json tag on the surface struct must be present and unique (so no two
+// counters collide in the wire format). A new counter that is added but not
+// wired through shows up as a diagnostic on the field declaration.
+package statswired
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"reflect"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+// Config names the types the analyzer wires together.
+type Config struct {
+	StatsPkg    string // import path of the stats struct ("repro/internal/core")
+	StatsType   string // name of the stats struct ("Stats")
+	MergeMethod string // method of StatsType that merges another value ("Add")
+	SurfacePkg  string // import path of the surfacing package ("repro")
+	SurfaceType string // engine-level stats struct with json tags ("EngineStats")
+}
+
+type analyzer struct{ cfg Config }
+
+// New returns the statswired analyzer.
+func New(cfg Config) lint.Analyzer { return analyzer{cfg} }
+
+func (analyzer) Name() string { return "statswired" }
+
+func (a analyzer) Run(prog *lint.Program) []lint.Diagnostic {
+	spkg := prog.ByPath[a.cfg.StatsPkg]
+	upkg := prog.ByPath[a.cfg.SurfacePkg]
+	if spkg == nil || upkg == nil {
+		// Partial lint run (e.g. a single package): nothing to wire.
+		return nil
+	}
+	var diags []lint.Diagnostic
+
+	statsStruct, statsFields := structFields(spkg, a.cfg.StatsType)
+	if statsStruct == nil {
+		return []lint.Diagnostic{{
+			Pos:      prog.Fset.Position(spkg.Files[0].Pos()),
+			Analyzer: "statswired",
+			Message:  fmt.Sprintf("struct %s not found in %s", a.cfg.StatsType, a.cfg.StatsPkg),
+		}}
+	}
+	fieldSet := map[*types.Var]bool{}
+	for _, f := range statsFields {
+		fieldSet[f] = true
+	}
+
+	// Fields referenced in the merge method.
+	mergeDecl := methodDecl(spkg, a.cfg.StatsType, a.cfg.MergeMethod)
+	merged := map[*types.Var]bool{}
+	if mergeDecl == nil {
+		diags = append(diags, lint.Diagnostic{
+			Pos:      prog.Fset.Position(spkg.Files[0].Pos()),
+			Analyzer: "statswired",
+			Message:  fmt.Sprintf("merge method (*%s).%s not found in %s", a.cfg.StatsType, a.cfg.MergeMethod, a.cfg.StatsPkg),
+		})
+	} else {
+		markFieldReads(mergeDecl, spkg, fieldSet, merged)
+	}
+
+	// Fields read anywhere in the surface package (excluding the merge
+	// method itself, relevant when stats and surface share a package).
+	surfaced := map[*types.Var]bool{}
+	for _, file := range upkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			if n == ast.Node(mergeDecl) {
+				return false
+			}
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if v, ok := upkg.Info.Uses[sel.Sel].(*types.Var); ok && fieldSet[v] {
+				surfaced[v] = true
+			}
+			return true
+		})
+	}
+
+	fieldPos := fieldPositions(spkg, a.cfg.StatsType)
+	for _, f := range statsFields {
+		if mergeDecl != nil && !merged[f] {
+			diags = append(diags, lint.Diagnostic{
+				Pos:      prog.Fset.Position(fieldPos[f.Name()]),
+				Analyzer: "statswired",
+				Message:  fmt.Sprintf("%s.%s is not merged in (*%s).%s: the counter would be lost on aggregation", a.cfg.StatsType, f.Name(), a.cfg.StatsType, a.cfg.MergeMethod),
+			})
+		}
+		if !surfaced[f] {
+			diags = append(diags, lint.Diagnostic{
+				Pos:      prog.Fset.Position(fieldPos[f.Name()]),
+				Analyzer: "statswired",
+				Message:  fmt.Sprintf("%s.%s is never read in %s: the counter does not surface in %s", a.cfg.StatsType, f.Name(), a.cfg.SurfacePkg, a.cfg.SurfaceType),
+			})
+		}
+	}
+
+	// json tags on the surface struct: present and unique.
+	diags = append(diags, a.checkTags(prog, upkg)...)
+	return diags
+}
+
+// checkTags validates the surface struct's json tags.
+func (a analyzer) checkTags(prog *lint.Program, upkg *lint.Package) []lint.Diagnostic {
+	surface, _ := structFields(upkg, a.cfg.SurfaceType)
+	if surface == nil {
+		return []lint.Diagnostic{{
+			Pos:      prog.Fset.Position(upkg.Files[0].Pos()),
+			Analyzer: "statswired",
+			Message:  fmt.Sprintf("struct %s not found in %s", a.cfg.SurfaceType, a.cfg.SurfacePkg),
+		}}
+	}
+	var diags []lint.Diagnostic
+	fieldPos := fieldPositions(upkg, a.cfg.SurfaceType)
+	seen := map[string]string{} // tag name -> field name
+	for i := 0; i < surface.NumFields(); i++ {
+		f := surface.Field(i)
+		if !f.Exported() {
+			continue
+		}
+		tag, ok := reflect.StructTag(surface.Tag(i)).Lookup("json")
+		name, _, _ := strings.Cut(tag, ",")
+		if !ok || name == "" {
+			diags = append(diags, lint.Diagnostic{
+				Pos:      prog.Fset.Position(fieldPos[f.Name()]),
+				Analyzer: "statswired",
+				Message:  fmt.Sprintf("%s.%s has no json tag name: it would marshal under the Go field name", a.cfg.SurfaceType, f.Name()),
+			})
+			continue
+		}
+		if prev, dup := seen[name]; dup {
+			diags = append(diags, lint.Diagnostic{
+				Pos:      prog.Fset.Position(fieldPos[f.Name()]),
+				Analyzer: "statswired",
+				Message:  fmt.Sprintf("%s.%s reuses json tag %q (already on %s)", a.cfg.SurfaceType, f.Name(), name, prev),
+			})
+			continue
+		}
+		seen[name] = f.Name()
+	}
+	return diags
+}
+
+// structFields resolves a named struct in pkg and returns its fields.
+func structFields(pkg *lint.Package, name string) (*types.Struct, []*types.Var) {
+	obj := pkg.Types.Scope().Lookup(name)
+	if obj == nil {
+		return nil, nil
+	}
+	st, ok := obj.Type().Underlying().(*types.Struct)
+	if !ok {
+		return nil, nil
+	}
+	var fields []*types.Var
+	for i := 0; i < st.NumFields(); i++ {
+		fields = append(fields, st.Field(i))
+	}
+	return st, fields
+}
+
+// methodDecl finds the declaration of method name on recvType (value or
+// pointer receiver).
+func methodDecl(pkg *lint.Package, recvType, name string) *ast.FuncDecl {
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Name.Name != name || fd.Recv == nil {
+				continue
+			}
+			fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			recv := fn.Type().(*types.Signature).Recv()
+			if recv == nil {
+				continue
+			}
+			t := recv.Type()
+			if ptr, ok := t.(*types.Pointer); ok {
+				t = ptr.Elem()
+			}
+			if named, ok := t.(*types.Named); ok && named.Obj().Name() == recvType {
+				return fd
+			}
+		}
+	}
+	return nil
+}
+
+// markFieldReads records every selector in decl that resolves to one of the
+// tracked fields.
+func markFieldReads(decl *ast.FuncDecl, pkg *lint.Package, fieldSet, out map[*types.Var]bool) {
+	ast.Inspect(decl, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if v, ok := pkg.Info.Uses[sel.Sel].(*types.Var); ok && fieldSet[v] {
+			out[v] = true
+		}
+		return true
+	})
+}
+
+// fieldPositions maps field name -> declaration position for the named
+// struct, for diagnostic anchoring.
+func fieldPositions(pkg *lint.Package, typeName string) map[string]token.Pos {
+	out := map[string]token.Pos{}
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok || ts.Name.Name != typeName {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, f := range st.Fields.List {
+				for _, nm := range f.Names {
+					out[nm.Name] = nm.Pos()
+				}
+			}
+			return false
+		})
+	}
+	return out
+}

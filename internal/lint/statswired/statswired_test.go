@@ -1,0 +1,20 @@
+package statswired
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/linttest"
+)
+
+func TestFixture(t *testing.T) {
+	a := New(Config{
+		StatsPkg:    "fixture",
+		StatsType:   "Stats",
+		MergeMethod: "Add",
+		SurfacePkg:  "fixture",
+		SurfaceType: "Surface",
+	})
+	linttest.Golden(t, []lint.Analyzer{a},
+		"../testdata/src/statswired", "../testdata/statswired.golden")
+}

@@ -1,0 +1,20 @@
+// Package fixture seeds malformed //mmqjp: directives for the framework's
+// grammar validation.
+package fixture
+
+//mmqjp:unknown something
+var a int
+
+//mmqjp:unordered
+var b int
+
+//mmqjp:shardowned with an argument
+var c int
+
+type s struct {
+	//mmqjp:shardowned
+	d int
+}
+
+var _ = a + b + c
+var _ = s{}

@@ -1,0 +1,64 @@
+// Package fixture seeds guarded violations: a //mmqjp:guardedby field and
+// function accessed without the declared mutex, next to the justified
+// access shapes.
+package fixture
+
+import "sync"
+
+type counter struct {
+	mu sync.RWMutex
+	//mmqjp:guardedby c.mu
+	n int
+}
+
+// Inc locks before writing: not flagged.
+func (c *counter) Inc() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+// Get read-locks: not flagged.
+func (c *counter) Get() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.n
+}
+
+// bump requires callers to hold c.mu; its own access is justified by the
+// annotation.
+//
+//mmqjp:guardedby c.mu
+func (c *counter) bump() { c.n++ }
+
+// BadRead accesses the field without the lock: flagged.
+func (c *counter) BadRead() int { return c.n }
+
+// BadCall calls a guarded function without the lock: flagged.
+func (c *counter) BadCall() { c.bump() }
+
+// GoodCall locks, then calls the guarded function: not flagged.
+func (c *counter) GoodCall() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.bump()
+}
+
+// newCounter owns the value exclusively: not flagged.
+//
+//mmqjp:nolock the counter is under construction and not yet shared
+func newCounter() *counter {
+	c := &counter{}
+	c.n = 1
+	return c
+}
+
+// Mixed: the closure locks and is justified; the outer return is flagged.
+func (c *counter) Mixed() int {
+	go func() {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		c.n++
+	}()
+	return c.n
+}

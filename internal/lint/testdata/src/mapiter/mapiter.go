@@ -1,0 +1,63 @@
+// Package fixture seeds mapiter violations: order-sensitive map iterations
+// without an //mmqjp:unordered annotation, next to the shapes the analyzer
+// must accept.
+package fixture
+
+var m = map[string]int{"a": 1, "b": 2}
+
+// badAppend appends in iteration order: flagged.
+func badAppend() []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// badLastWins assigns a plain variable, so the last key visited wins: flagged.
+func badLastWins() int {
+	last := 0
+	for _, v := range m {
+		last = v
+	}
+	return last
+}
+
+// annotated carries the escape hatch: not flagged.
+func annotated() []string {
+	out := make([]string, 0, len(m))
+	//mmqjp:unordered caller sorts the result before use
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// counter accumulates commutatively: not flagged.
+func counter() int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// setBuild writes one entry per range key: not flagged.
+func setBuild(src map[string]int) map[string]bool {
+	out := map[string]bool{}
+	for k := range src {
+		out[k] = true
+	}
+	return out
+}
+
+// prune mixes deletes, keyed writes and continue: not flagged.
+func prune(dst map[string]bool, src map[string]int) {
+	for k, v := range src {
+		if v == 0 {
+			delete(dst, k)
+			continue
+		}
+		dst[k] = true
+	}
+}

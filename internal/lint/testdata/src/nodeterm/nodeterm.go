@@ -1,0 +1,27 @@
+// Package fixture seeds nodeterm violations: wall-clock and math/rand use
+// without an //mmqjp:nondet annotation, next to the allowlisted shapes.
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+// stamp reads the wall clock unannotated: flagged.
+func stamp() int64 { return time.Now().UnixNano() }
+
+// draw calls an unannotated PRNG method: flagged.
+func draw(r *rand.Rand) int { return r.Intn(6) }
+
+// timed is the stats-timer shape: not flagged.
+//
+//mmqjp:nondet wall-clock stats timing (output-invisible)
+func timed() time.Duration {
+	t0 := time.Now()
+	return time.Since(t0)
+}
+
+// seeded is the deterministic PRNG shape: not flagged.
+//
+//mmqjp:nondet seeded deterministic PRNG (same seed, same draws)
+func seeded() *rand.Rand { return rand.New(rand.NewSource(42)) }

@@ -1,0 +1,39 @@
+// Package fixture seeds shardowned violations: shard state touched outside
+// owner-receiver methods and the //mmqjp:shardaccess protocols.
+package fixture
+
+type shard struct {
+	id int
+	//mmqjp:shardowned
+	data []int
+	//mmqjp:shardowned
+	hits int64
+}
+
+type pool struct{ shards []*shard }
+
+// add runs on the owning shard: not flagged.
+func (s *shard) add(v int) { s.data = append(s.data, v) }
+
+// register is the quiesced registration path: not flagged.
+//
+//mmqjp:shardaccess registration-quiesced; no evaluation in flight
+func (p *pool) register(v int) {
+	p.shards[0].data = append(p.shards[0].data, v)
+}
+
+// Leak reads shard state with no annotation: flagged twice.
+func (p *pool) Leak() ([]int, int64) {
+	return p.shards[0].data, p.shards[0].hits
+}
+
+// collect: accesses in the loop inherit the enclosing annotation.
+//
+//mmqjp:shardaccess stats collection at a barrier
+func (p *pool) collect() int64 {
+	var n int64
+	for _, sh := range p.shards {
+		n += sh.hits
+	}
+	return n
+}

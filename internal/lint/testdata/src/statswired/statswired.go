@@ -1,0 +1,29 @@
+// Package fixture seeds statswired violations: a counter that is neither
+// merged nor surfaced, a duplicate json tag, and a missing one.
+package fixture
+
+type Stats struct {
+	A int64
+	B int64
+	// C is the seeded violation: not merged in Add, never read.
+	C int64
+}
+
+// Add merges another Stats — but forgets C.
+func (s *Stats) Add(o Stats) {
+	s.A += o.A
+	s.B += o.B
+}
+
+type Surface struct {
+	A int64 `json:"a"`
+	// B reuses A's tag: flagged.
+	B int64 `json:"a"`
+	// D has no tag: flagged.
+	D int64
+}
+
+// fill surfaces A and B; C is never read anywhere.
+func fill(s Stats) Surface {
+	return Surface{A: s.A, B: s.B}
+}

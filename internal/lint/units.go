@@ -1,0 +1,101 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// A "unit" is one function body: an *ast.FuncDecl or an *ast.FuncLit. The
+// lock-discipline and ownership analyzers reason per unit: an access is
+// justified if any unit on its enclosing chain locks the mutex, carries the
+// right annotation, or is an allowlisted method.
+
+// UnitsEnclosing returns the chain of function units whose span contains pos,
+// innermost first.
+func UnitsEnclosing(file *ast.File, pos token.Pos) []ast.Node {
+	var chain []ast.Node
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			if n.Pos() <= pos && pos < n.End() {
+				chain = append(chain, n)
+			}
+		}
+		return true
+	})
+	// Inspect visits outermost first; reverse for innermost-first order.
+	for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
+		chain[i], chain[j] = chain[j], chain[i]
+	}
+	return chain
+}
+
+// UnitBody returns the body block of a unit node.
+func UnitBody(unit ast.Node) *ast.BlockStmt {
+	switch u := unit.(type) {
+	case *ast.FuncDecl:
+		return u.Body
+	case *ast.FuncLit:
+		return u.Body
+	}
+	return nil
+}
+
+// UnitLocks reports whether the unit's own body (not nested function
+// literals — a closure locking a mutex does not mean its parent holds it)
+// contains a call <...>.<mutexName>.Lock() or .RLock(). The check is
+// flow-insensitive: it proves lock discipline was considered at the site, not
+// that the lock is held on every path.
+func UnitLocks(unit ast.Node, mutexName string) bool {
+	body := UnitBody(unit)
+	if body == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if lit, ok := n.(*ast.FuncLit); ok && lit.Body != body {
+			return false // do not descend into nested closures
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		switch x := sel.X.(type) {
+		case *ast.SelectorExpr:
+			if x.Sel.Name == mutexName {
+				found = true
+			}
+		case *ast.Ident:
+			if x.Name == mutexName {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// MutexName extracts the mutex field name from a guardedby argument
+// ("e.mu" -> "mu", "mu" -> "mu").
+func MutexName(arg string) string {
+	if i := lastDot(arg); i >= 0 {
+		return arg[i+1:]
+	}
+	return arg
+}
+
+func lastDot(s string) int {
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i] == '.' {
+			return i
+		}
+	}
+	return -1
+}

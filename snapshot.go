@@ -96,8 +96,10 @@ func (e *Engine) Snapshot(w io.Writer) error {
 	return serr
 }
 
-// snapshot builds and encodes the snapshot. Callers hold e.mu and guarantee
-// no pipeline work is in flight.
+// snapshot builds and encodes the snapshot. Callers guarantee no pipeline
+// work is in flight.
+//
+//mmqjp:guardedby e.mu
 func (e *Engine) snapshot(w io.Writer) error {
 	snap := engineSnapshot{
 		Format:          snapshotFormat,
@@ -123,6 +125,7 @@ func (e *Engine) snapshot(w io.Writer) error {
 	}
 	if len(e.docs) > 0 {
 		ids := make([]int64, 0, len(e.docs))
+		//mmqjp:unordered ids are sorted before the snapshot is emitted
 		for id := range e.docs {
 			ids = append(ids, int64(id))
 		}
@@ -149,6 +152,8 @@ func (e *Engine) snapshot(w io.Writer) error {
 // window tuple — rejected rather than guessed. Every subscription resumes
 // under its original QueryID, and publishing the stream suffix produces
 // exactly the matches the original engine would have produced.
+//
+//mmqjp:nolock the engine is under construction and not yet shared
 func OpenEngine(r io.Reader, opts Options) (*Engine, error) {
 	if opts.Processor == ProcessorSequential {
 		return nil, ErrSequentialSnapshot
