@@ -7,15 +7,19 @@
 //	benchdiff -baseline BENCH_baseline.json -current BENCH_pr.json -threshold 20
 //
 // Every column whose header marks a throughput series ("ev/s" or "docs/s";
-// higher is better) is compared row by row, keyed on each row's first
-// column (the sweep parameter). Columns additionally marked "(info)" are
-// exempt: they carry no regression signal on the gate machine. With -normalize (the default) the current
-// values are first divided by the median current/baseline ratio across all
-// compared series: a uniform machine-speed difference between the machine
-// that generated the baseline and the machine running the gate cancels
-// out, and the gate flags series that regressed relative to the rest —
-// which is what a localized perf regression looks like. Use
-// -normalize=false for a same-machine absolute comparison.
+// higher is better) or an allocation-count series ("allocs/op"; lower is
+// better) is compared row by row, keyed on each row's first column (the
+// sweep parameter). Columns additionally marked "(info)" are exempt: they
+// carry no regression signal on the gate machine. With -normalize (the
+// default) the current throughput values are first divided by the median
+// current/baseline ratio across the throughput series: a uniform
+// machine-speed difference between the machine that generated the baseline
+// and the machine running the gate cancels out, and the gate flags series
+// that regressed relative to the rest — which is what a localized perf
+// regression looks like. Allocation counts are machine-independent and are
+// always compared raw. Use -normalize=false for a same-machine absolute
+// throughput comparison. Non-numeric, non-finite (NaN/Inf) and
+// zero-baseline cells are reported as "(info)" and never gate.
 //
 // Series present in only one file — a new experiment or row not yet in the
 // baseline, or a baseline entry the current run no longer produces — are
@@ -30,6 +34,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"sort"
 	"strconv"
@@ -60,7 +65,7 @@ func main() {
 	report, regressed := diff(base, cur, *threshold, *normalize)
 	fmt.Print(report)
 	if regressed {
-		fmt.Printf("FAIL: throughput regressed more than %.0f%% against %s\n", *threshold, *baseline)
+		fmt.Printf("FAIL: a gated series regressed more than %.0f%% against %s\n", *threshold, *baseline)
 		os.Exit(1)
 	}
 	fmt.Printf("OK: no series regressed more than %.0f%%\n", *threshold)
@@ -90,11 +95,24 @@ func isThroughputCol(name string) bool {
 	return strings.Contains(name, "ev/s") || strings.Contains(name, "docs/s")
 }
 
-// series is one compared throughput cell: a baseline and current value for
-// the same experiment, row key, and column.
+// isAllocsCol reports whether a column header names a lower-is-better
+// allocation-count series (the allocs experiment). Allocation counts are
+// machine-independent, so these cells are compared raw — never divided by
+// the speed factor. "(info)" columns are exempt here too.
+func isAllocsCol(name string) bool {
+	if strings.Contains(name, "(info)") {
+		return false
+	}
+	return strings.Contains(name, "allocs/op")
+}
+
+// series is one compared cell: a baseline and current value for the same
+// experiment, row key, and column. allocs marks a lower-is-better
+// allocation-count cell (excluded from speed normalization).
 type series struct {
 	label     string
 	base, cur float64
+	allocs    bool
 }
 
 // collect pairs up every shared throughput cell of base and cur, returning
@@ -150,7 +168,8 @@ func collect(base, cur []bench.Result) (cells []series, notes []string) {
 				continue
 			}
 			for j, name := range c.Columns {
-				if !isThroughputCol(name) || j >= len(row) {
+				thr, alc := isThroughputCol(name), isAllocsCol(name)
+				if (!thr && !alc) || j >= len(row) {
 					continue
 				}
 				bj, ok := baseCol[name]
@@ -158,30 +177,49 @@ func collect(base, cur []bench.Result) (cells []series, notes []string) {
 					notes = append(notes, fmt.Sprintf("%s[%s] %s: no baseline column — skipped", c.ID, row[0], name))
 					continue
 				}
+				label := fmt.Sprintf("%s[%s] %s", c.ID, row[0], name)
 				bv, berr := strconv.ParseFloat(brow[bj], 64)
 				cv, cerr := strconv.ParseFloat(row[j], 64)
-				if berr != nil || cerr != nil || bv <= 0 {
+				// Guard the division below: a non-numeric, non-finite
+				// (ParseFloat accepts "NaN" and "Inf" without error) or
+				// zero baseline cell would otherwise produce a NaN/Inf
+				// delta that silently compares as "ok". Such cells are
+				// informational, never a pass/fail signal.
+				switch {
+				case berr != nil || cerr != nil:
+					notes = append(notes, fmt.Sprintf("%s: non-numeric cell — (info) skipped", label))
+					continue
+				case math.IsNaN(bv) || math.IsInf(bv, 0) || math.IsNaN(cv) || math.IsInf(cv, 0):
+					notes = append(notes, fmt.Sprintf("%s: non-finite cell — (info) skipped", label))
+					continue
+				case bv <= 0 && thr:
+					notes = append(notes, fmt.Sprintf("%s: zero baseline throughput — (info) skipped", label))
+					continue
+				case bv <= 0 && alc:
+					// 0 allocs/op is a legitimate baseline (a fully pooled
+					// stage); there is no percentage to compute against it.
+					notes = append(notes, fmt.Sprintf("%s: zero-alloc baseline — (info) skipped", label))
 					continue
 				}
-				cells = append(cells, series{
-					label: fmt.Sprintf("%s[%s] %s", c.ID, row[0], name),
-					base:  bv, cur: cv,
-				})
+				cells = append(cells, series{label: label, base: bv, cur: cv, allocs: alc})
 			}
 		}
 	}
 	return cells, notes
 }
 
-// speedFactor is the median current/baseline ratio across all compared
-// cells — the uniform machine-speed difference to divide out.
+// speedFactor is the median current/baseline ratio across the compared
+// throughput cells — the uniform machine-speed difference to divide out.
+// Allocation-count cells are machine-independent and excluded.
 func speedFactor(cells []series) float64 {
-	if len(cells) == 0 {
-		return 1
+	var ratios []float64
+	for _, c := range cells {
+		if !c.allocs {
+			ratios = append(ratios, c.cur/c.base)
+		}
 	}
-	ratios := make([]float64, len(cells))
-	for i, c := range cells {
-		ratios[i] = c.cur / c.base
+	if len(ratios) == 0 {
+		return 1
 	}
 	sort.Float64s(ratios)
 	mid := len(ratios) / 2
@@ -191,9 +229,10 @@ func speedFactor(cells []series) float64 {
 	return (ratios[mid-1] + ratios[mid]) / 2
 }
 
-// diff renders a comparison of every shared throughput series and reports
-// whether any regressed beyond thresholdPct (after dividing out the median
-// speed ratio when normalize is set).
+// diff renders a comparison of every shared throughput and allocs series and
+// reports whether any regressed beyond thresholdPct. Throughput cells are
+// higher-is-better and divided by the median speed ratio when normalize is
+// set; allocs cells are lower-is-better and always compared raw.
 func diff(base, cur []bench.Result, thresholdPct float64, normalize bool) (string, bool) {
 	cells, notes := collect(base, cur)
 	var sb strings.Builder
@@ -208,8 +247,19 @@ func diff(base, cur []bench.Result, thresholdPct float64, normalize bool) (strin
 	}
 	regressed := false
 	for _, c := range cells {
-		deltaPct := (c.cur/factor - c.base) / c.base * 100
+		var deltaPct float64
 		verdict := "ok"
+		if c.allocs {
+			deltaPct = (c.cur - c.base) / c.base * 100
+			if deltaPct > thresholdPct {
+				verdict = "REGRESSION"
+				regressed = true
+			}
+			fmt.Fprintf(&sb, "%s: %.1f -> %.1f (%+.1f%%) %s\n",
+				c.label, c.base, c.cur, deltaPct, verdict)
+			continue
+		}
+		deltaPct = (c.cur/factor - c.base) / c.base * 100
 		if deltaPct < -thresholdPct {
 			verdict = "REGRESSION"
 			regressed = true

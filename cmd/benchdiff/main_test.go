@@ -117,6 +117,83 @@ func TestDiffInfoColumnsExempt(t *testing.T) {
 	}
 }
 
+func mkAllocs(rows ...[]string) bench.Result {
+	return bench.Result{
+		ID:      "allocs",
+		Columns: []string{"series", "allocs/op", "B/op (info)", "ns/op (info)"},
+		Rows:    rows,
+	}
+}
+
+func TestDiffAllocsLowerIsBetter(t *testing.T) {
+	base := []bench.Result{mkAllocs([]string{"rss per-document", "100.0", "4096.0", "50000.0"})}
+	worse := []bench.Result{mkAllocs([]string{"rss per-document", "150.0", "4096.0", "50000.0"})}
+	report, regressed := diff(base, worse, 20, true)
+	if !regressed {
+		t.Fatalf("+50%% allocs/op not flagged:\n%s", report)
+	}
+	if !strings.Contains(report, "allocs[rss per-document] allocs/op") || !strings.Contains(report, "REGRESSION") {
+		t.Errorf("wrong series flagged:\n%s", report)
+	}
+	better := []bench.Result{mkAllocs([]string{"rss per-document", "40.0", "4096.0", "50000.0"})}
+	if report, regressed := diff(base, better, 20, true); regressed {
+		t.Fatalf("-60%% allocs/op (an improvement) flagged:\n%s", report)
+	}
+}
+
+func TestDiffAllocsNotSpeedNormalized(t *testing.T) {
+	// A machine twice as slow halves every throughput series; the allocs
+	// counts are machine-independent and must neither be rescaled by the
+	// factor nor contribute to it.
+	base := []bench.Result{
+		mkResult("pipeline", []string{"1", "1000.000", "5"}, []string{"2", "2000.000", "5"}, []string{"4", "3000.000", "5"}),
+		mkAllocs([]string{"rss per-document", "100.0", "1.0", "1.0"}),
+	}
+	cur := []bench.Result{
+		mkResult("pipeline", []string{"1", "500.000", "5"}, []string{"2", "1000.000", "5"}, []string{"4", "1500.000", "5"}),
+		mkAllocs([]string{"rss per-document", "100.0", "1.0", "1.0"}),
+	}
+	report, regressed := diff(base, cur, 20, true)
+	if regressed {
+		t.Fatalf("unchanged allocs or machine-speed throughput difference flagged:\n%s", report)
+	}
+	if !strings.Contains(report, "median speed ratio 0.500") {
+		t.Errorf("allocs cells perturbed the speed factor:\n%s", report)
+	}
+}
+
+func TestDiffGuardsZeroAndNaNSeries(t *testing.T) {
+	// Zero and non-finite baseline cells must become "(info)" notes, not a
+	// division by zero that silently passes (NaN compares false) or fails.
+	base := []bench.Result{
+		mkAllocs(
+			[]string{"pooled-stage", "0.0", "0.0", "1.0"},
+			[]string{"nan-stage", "NaN", "1.0", "1.0"},
+		),
+		mkResult("pipeline", []string{"1", "0.000", "5"}),
+	}
+	cur := []bench.Result{
+		mkAllocs(
+			[]string{"pooled-stage", "50.0", "0.0", "1.0"},
+			[]string{"nan-stage", "10.0", "1.0", "1.0"},
+		),
+		mkResult("pipeline", []string{"1", "900.000", "5"}),
+	}
+	report, regressed := diff(base, cur, 20, true)
+	if regressed {
+		t.Fatalf("guarded series tripped the gate:\n%s", report)
+	}
+	if !strings.Contains(report, "allocs[pooled-stage] allocs/op: zero-alloc baseline — (info) skipped") {
+		t.Errorf("missing zero-alloc note:\n%s", report)
+	}
+	if !strings.Contains(report, "allocs[nan-stage] allocs/op: non-finite cell — (info) skipped") {
+		t.Errorf("missing non-finite note:\n%s", report)
+	}
+	if !strings.Contains(report, "pipeline[1] MMQJP (docs/s): zero baseline throughput — (info) skipped") {
+		t.Errorf("missing zero-throughput note:\n%s", report)
+	}
+}
+
 func TestDiffNormalizesMachineSpeed(t *testing.T) {
 	// The gate machine is uniformly half the speed of the baseline
 	// machine: raw comparison fails, normalized comparison passes.

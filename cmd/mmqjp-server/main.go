@@ -562,6 +562,13 @@ func (s *server) handlePub(c *client, rest string) {
 		s.replyErr(c, errProto, "bad timestamp: "+err.Error())
 		return
 	}
+	// Timestamps drive window admission and eviction order; a negative one
+	// would sort before every document already in the window. ParseInt
+	// happily accepts "-5", so reject it explicitly.
+	if ts < 0 {
+		s.replyErr(c, errProto, "bad timestamp: must be non-negative, got "+tsText)
+		return
+	}
 	docID := s.nextDoc.Add(1)
 	if c.pending != nil {
 		// Async mode: parse on the connection handler (concurrent across
@@ -628,9 +635,12 @@ func (s *server) handlePubBatch(c *client, rd *bufio.Reader, rest string) {
 		}
 		tsText, xmlText, ok := cut(strings.TrimSpace(line))
 		ts, perr := strconv.ParseInt(tsText, 10, 64)
-		if !ok || xmlText == "" || perr != nil {
+		if !ok || xmlText == "" || perr != nil || ts < 0 {
+			// ts < 0: same rejection as handlePub — ParseInt accepts a
+			// leading minus, but negative timestamps would invert window
+			// eviction order.
 			if badLine == "" {
-				badLine = fmt.Sprintf("bad batch document %d: want <ts> <xml>", i+1)
+				badLine = fmt.Sprintf("bad batch document %d: want <ts> <xml> with non-negative ts", i+1)
 				badCode = errProto
 			}
 			continue

@@ -179,6 +179,37 @@ func TestServerPubBatchErrors(t *testing.T) {
 	}
 }
 
+// TestServerNegativeTimestampRejected pins the regression where PUB/PUBB
+// accepted "-5" as a timestamp (bare strconv.ParseInt): a negative ts would
+// sort before every in-window document and invert eviction order. Both paths
+// must answer ERR EPROTO and admit nothing.
+func TestServerNegativeTimestampRejected(t *testing.T) {
+	addr := startTestServer(t)
+	c := dialTest(t, addr)
+
+	c.sendLine(t, "SUB S//a->x JOIN{x=y, 100} S//b->y")
+	if got := c.readLine(t); got != "OK 0" {
+		t.Fatalf("SUB -> %q", got)
+	}
+	c.sendLine(t, "PUB S -5 <a>k</a>")
+	if got := c.readLine(t); !strings.HasPrefix(got, "ERR EPROTO") {
+		t.Errorf("negative PUB ts -> %q, want ERR EPROTO", got)
+	}
+	// Batch path: one negative line rejects the batch whole.
+	c.sendLine(t, "PUBB S 2")
+	c.sendLine(t, "1 <a>k</a>")
+	c.sendLine(t, "-1 <a>k</a>")
+	if got := c.readLine(t); !strings.HasPrefix(got, "ERR EPROTO") {
+		t.Errorf("negative PUBB ts -> %q, want ERR EPROTO", got)
+	}
+	// Still line-synchronized, and neither rejected <a> entered the join
+	// state: a following <b> has nothing to join with.
+	c.sendLine(t, "PUB S 3 <b>k</b>")
+	if got := c.readLine(t); got != "OK 0" {
+		t.Errorf("post-rejection PUB -> %q (rejected document leaked state?)", got)
+	}
+}
+
 func TestServerErrors(t *testing.T) {
 	addr := startTestServer(t)
 	c := dialTest(t, addr)

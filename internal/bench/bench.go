@@ -967,7 +967,7 @@ func sideComplex(part []int, pfx string) string {
 // All returns every experiment id: the paper's tables and figures in paper
 // order, then the repo's own scaling experiments.
 func All() []string {
-	return []string{"table3", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "workers", "pipeline", "churn", "publishers", "planning", "partitions", "scale"}
+	return []string{"table3", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "workers", "pipeline", "churn", "publishers", "planning", "partitions", "scale", "allocs"}
 }
 
 // Run executes one experiment by id.
@@ -1007,6 +1007,8 @@ func Run(id string, o Options) (Result, error) {
 		return PartitionsSweep(o), nil
 	case "scale":
 		return ScaleSweep(o), nil
+	case "allocs":
+		return AllocsSweep(o), nil
 	default:
 		return Result{}, fmt.Errorf("bench: unknown experiment %q (have %v)", id, All())
 	}

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/relation"
+	"repro/internal/sym"
 	"repro/internal/xmldoc"
 	"repro/internal/xscl"
 )
@@ -162,7 +163,7 @@ func TestGCScopedCacheInvalidation(t *testing.T) {
 		id++
 		ts++
 	}
-	if sl, ok := p.shardOfString("oldA").cache.Get("oldA"); !ok || sl.Len() == 0 {
+	if sl, ok := p.shardOfSym(sym.Intern("oldA")).cache.Get(sym.Intern("oldA")); !ok || sl.Len() == 0 {
 		t.Fatalf("precondition: no populated cache entry for oldA (ok=%v)", ok)
 	}
 	// Live documents carrying different strings, far enough ahead that the
@@ -173,14 +174,14 @@ func TestGCScopedCacheInvalidation(t *testing.T) {
 		id++
 		ts++
 	}
-	sh := p.shardOfString("newA")
+	sh := p.shardOfSym(sym.Intern("newA"))
 	if n := sh.cache.Len(); n == 0 {
 		t.Fatalf("no cache entries after the fresh epoch (GC wiped the cache wholesale?)")
 	}
-	if _, ok := sh.cache.Get("newA"); !ok {
+	if _, ok := sh.cache.Get(sym.Intern("newA")); !ok {
 		t.Errorf("live entry %q invalidated by GC of unrelated documents", "newA")
 	}
-	if _, ok := p.shardOfString("oldA").cache.Get("oldA"); ok {
+	if _, ok := p.shardOfSym(sym.Intern("oldA")).cache.Get(sym.Intern("oldA")); ok {
 		t.Errorf("stale entry %q survived GC", "oldA")
 	}
 	inval := int64(0)
@@ -200,21 +201,21 @@ func TestViewCacheInvalidateDocs(t *testing.T) {
 		r := relation.New("docid", "var1", "var2", "node1", "node2", "strVal")
 		for _, d := range docids {
 			r.Insert(relation.Int(d), relation.Int(1), relation.Int(2),
-				relation.Int(0), relation.Int(1), relation.Str("s"))
+				relation.Int(0), relation.Int(1), relation.Sym(sym.Intern("s")))
 		}
 		return r
 	}
-	c.Put("stale", slice(1, 2))
-	c.Put("live", slice(3))
-	c.Put("empty", slice())
+	c.Put(sym.Intern("stale"), slice(1, 2))
+	c.Put(sym.Intern("live"), slice(3))
+	c.Put(sym.Intern("empty"), slice())
 	c.InvalidateDocs(map[xmldoc.DocID]bool{2: true})
-	if _, ok := c.Get("stale"); ok {
+	if _, ok := c.Get(sym.Intern("stale")); ok {
 		t.Error("entry referencing expired doc 2 survived")
 	}
-	if _, ok := c.Get("live"); !ok {
+	if _, ok := c.Get(sym.Intern("live")); !ok {
 		t.Error("entry referencing only live docs dropped")
 	}
-	if _, ok := c.Get("empty"); !ok {
+	if _, ok := c.Get(sym.Intern("empty")); !ok {
 		t.Error("empty slice dropped")
 	}
 	if got := c.Invalidations(); got != 1 {
@@ -230,7 +231,7 @@ func TestViewCacheInvalidateDocs(t *testing.T) {
 func TestViewCacheClearAccountsDrop(t *testing.T) {
 	c := NewViewCache(0)
 	for i := 0; i < 5; i++ {
-		c.Put(fmt.Sprintf("s%d", i), relation.New("docid"))
+		c.Put(sym.Intern(fmt.Sprintf("s%d", i)), relation.New("docid"))
 	}
 	c.Clear()
 	if got := c.Invalidations(); got != 5 {

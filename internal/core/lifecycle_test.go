@@ -59,7 +59,7 @@ func assertFreshProcessor(t *testing.T, p *Processor) {
 			st.NumDocs(), st.Rbin.Len(), st.Rdoc.Len(), st.Rroot.Len())
 	}
 	if len(st.RdocTS) != 0 || len(st.seq) != 0 || len(st.docs) != 0 ||
-		len(st.rdocByStr) != 0 || len(st.rbinByNode2) != 0 || len(st.rbinByVars) != 0 {
+		len(st.rdocBySym) != 0 || len(st.rbinByNode2) != 0 || len(st.rbinByVars) != 0 {
 		t.Errorf("join-state indexes not reclaimed")
 	}
 	if p.stats != (Stats{}) {

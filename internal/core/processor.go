@@ -775,6 +775,12 @@ func (p *Processor) runStage1(stream string, d *xmldoc.Document) *stage1Result {
 	}
 	r.witness = time.Since(t1)
 	r.wall = time.Since(t0)
+	// The witnesses are fully copied into the current-witness relations and
+	// single-block matches above, so the match result's scratch (candidate
+	// lists, NFA state sets) can go back to the engine's pool here — still
+	// inside the order-insensitive stage, so pipelined Stage-1 workers
+	// recycle scratch without waiting on the coordinator.
+	res.Release()
 	return r
 }
 
@@ -1022,11 +1028,13 @@ func (p *Processor) maintainCache(w *CurrentWitness) {
 	}
 	did := relation.Int(int64(w.DocID))
 	for _, row := range w.rrSlices.Rows {
-		s := row[4].S
-		slice, ok := p.shardOfString(s).cache.GetAndNote(s, w.DocID)
+		id := row[4].SymID()
+		slice, ok := p.shardOfSym(id).cache.GetAndNote(id, w.DocID)
 		if !ok {
 			continue
 		}
+		// Cached slices outlive the document, so this row is heap
+		// allocated by Insert, never carved from the witness arena.
 		slice.Insert(did, row[0], row[1], row[2], row[3], row[4])
 	}
 	w.rrSlices = nil

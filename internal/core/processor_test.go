@@ -110,7 +110,7 @@ func TestPaperStateRelations(t *testing.T) {
 	st := p.State()
 	gotNodes := map[int64]string{}
 	for _, row := range st.Rdoc.Rows {
-		gotNodes[row[1].I] = row[2].S
+		gotNodes[row[1].I] = row[2].String()
 	}
 	want := map[int64]string{
 		2: "Andrew Watt",

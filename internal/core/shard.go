@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/relation"
+	"repro/internal/sym"
 	"repro/internal/xmldoc"
 )
 
@@ -38,7 +39,7 @@ type shard struct {
 	rtDirty map[TemplateID]bool
 
 	// cache holds the Section-5 RL slices of the strings this shard owns
-	// (shardOfString); ownership is stable, so Algorithm-5 maintenance
+	// (shardOfSym); ownership is stable, so Algorithm-5 maintenance
 	// and lookups always land on the same shard.
 	//
 	//mmqjp:shardowned
@@ -80,15 +81,18 @@ func (p *Processor) shardOf(t *Template) *shard {
 	return p.shards[p.tmplShard[t.ID]]
 }
 
-// shardOfString returns the shard owning a string's view-cache entry
-// (FNV-1a so ownership is stable across documents).
-func (p *Processor) shardOfString(s string) *shard {
+// shardOfSym returns the shard owning an interned string's view-cache entry
+// (FNV-1a over the 4 id bytes). Symbol ids are stable for the process
+// lifetime, so ownership is stable across documents; it need not be stable
+// across processes — view caches are never snapshotted.
+func (p *Processor) shardOfSym(id sym.ID) *shard {
 	if len(p.shards) == 1 {
 		return p.shards[0]
 	}
+	u := uint32(id)
 	h := uint32(2166136261)
-	for i := 0; i < len(s); i++ {
-		h ^= uint32(s[i])
+	for i := 0; i < 4; i++ {
+		h ^= (u >> (8 * i)) & 0xff
 		h *= 16777619
 	}
 	return p.shards[h%uint32(len(p.shards))]
@@ -177,8 +181,8 @@ func (p *Processor) evalTemplates(w *CurrentWitness, d *xmldoc.Document) []Match
 // common string set STR, the shared left/right views RL and RR, and the
 // per-document fan-out of RL used for plan choice.
 type stage2Shared struct {
-	strs   []string
-	seen   map[string]bool
+	syms   []sym.ID
+	seen   map[sym.ID]bool
 	rl     *relation.Relation
 	rr     *relation.Relation
 	perDoc map[xmldoc.DocID]int
@@ -201,12 +205,12 @@ type stage2Shared struct {
 func (pre *stage2Shared) sharedRvj(p *Processor, w *CurrentWitness, sh *shard) *relation.Relation {
 	pre.rvjOnce.Do(func() {
 		t0 := time.Now()
+		var ar relation.Arena
 		rvj := relation.New("docid", "nodeL", "nodeR", "strVal")
 		for _, row := range w.RdocW.Rows {
-			s := row[1].S
-			for _, ri := range p.state.rdocByStr[s] {
+			for _, ri := range p.state.rdocBySym[row[1].SymID()] {
 				dt := p.state.Rdoc.Rows[ri]
-				rvj.Insert(dt[0], dt[1], row[0], dt[2])
+				ar.Insert(rvj, dt[0], dt[1], row[0], dt[2])
 			}
 		}
 		pre.rvj = rvj
@@ -217,47 +221,50 @@ func (pre *stage2Shared) sharedRvj(p *Processor, w *CurrentWitness, sh *shard) *
 
 // prepareViewMat computes the shared prefix of Algorithm 4. The per-string
 // RL slices are computed by the shard owning each string (hitting that
-// shard's cache), in parallel; the union is concatenated in sorted-string
-// order so its row order is independent of the worker count. Returns nil
-// when no string is shared with the join state (no template can match).
+// shard's cache), in parallel; the union is concatenated in sorted-symbol
+// order, so its row order is independent of the worker count (symbol ids
+// are process-global, so the order is also identical for every engine
+// configuration within a process — only intermediate row order depends on
+// it, the output leaves through sortMatches regardless). Returns nil when
+// no string is shared with the join state (no template can match).
 //
 //mmqjp:nondet wall-clock stats timing (output-invisible)
 //mmqjp:shardaccess per-shard closures run on the owning shard's worker
 func (p *Processor) prepareViewMat(w *CurrentWitness) *stage2Shared {
 	// STR: distinct string values common to RdocW and Rdoc (line 2).
 	t0 := time.Now()
-	var strs []string
-	seen := map[string]bool{}
+	var syms []sym.ID
+	seen := map[sym.ID]bool{}
 	for _, row := range w.RdocW.Rows {
-		s := row[1].S
-		if !seen[s] && p.state.HasString(s) {
-			seen[s] = true
-			strs = append(strs, s)
+		id := row[1].SymID()
+		if !seen[id] && p.state.HasSym(id) {
+			seen[id] = true
+			syms = append(syms, id)
 		}
 	}
-	sort.Strings(strs)
+	sort.Slice(syms, func(i, j int) bool { return syms[i] < syms[j] })
 	p.stats.Rvj += time.Since(t0)
-	if len(strs) == 0 {
+	if len(syms) == 0 {
 		return nil
 	}
 
 	// RL slices (lines 3-7), sharded by string ownership. Ownership is
 	// resolved once on the coordinator so workers neither rescan nor
-	// rehash the full string list.
+	// rehash the full symbol list.
 	ownedIdx := make([][]int, len(p.shards))
-	for i, s := range strs {
-		sh := p.shardOfString(s)
+	for i, id := range syms {
+		sh := p.shardOfSym(id)
 		ownedIdx[sh.id] = append(ownedIdx[sh.id], i)
 	}
-	slices := make([]*relation.Relation, len(strs))
+	slices := make([]*relation.Relation, len(syms))
 	p.runShards(func(sh *shard) {
 		t := time.Now()
 		for _, i := range ownedIdx[sh.id] {
-			s := strs[i]
-			slice, ok := sh.cache.Get(s)
+			id := syms[i]
+			slice, ok := sh.cache.Get(id)
 			if !ok {
-				slice = p.state.SliceEL(s)
-				sh.cache.Put(s, slice)
+				slice = p.state.SliceEL(id)
+				sh.cache.Put(id, slice)
 			}
 			slices[i] = slice
 		}
@@ -272,17 +279,17 @@ func (p *Processor) prepareViewMat(w *CurrentWitness) *stage2Shared {
 
 	// RR: σ_strVal∈STR(RdocW) ⋈ RbinW on node2 (line 8).
 	t2 := time.Now()
-	strOf := make(map[int64]string, w.RdocW.Len())
+	symOf := make(map[int64]sym.ID, w.RdocW.Len())
 	for _, row := range w.RdocW.Rows {
-		strOf[row[0].I] = row[1].S
+		symOf[row[0].I] = row[1].SymID()
 	}
 	rr := relation.New("var1", "var2", "node1", "node2", "strVal")
 	for _, row := range w.RbinW.Rows {
-		s, ok := strOf[row[3].I]
-		if !ok || !seen[s] {
+		id, ok := symOf[row[3].I]
+		if !ok || !seen[id] {
 			continue
 		}
-		rr.Insert(row[0], row[1], row[2], row[3], relation.Str(s))
+		w.arena.Insert(rr, row[0], row[1], row[2], row[3], relation.Sym(id))
 	}
 	w.rrSlices = rr
 	p.stats.RR += time.Since(t2)
@@ -293,7 +300,7 @@ func (p *Processor) prepareViewMat(w *CurrentWitness) *stage2Shared {
 	for _, row := range rl.Rows {
 		perDoc[xmldoc.DocID(row[docidCol].I)]++
 	}
-	return &stage2Shared{strs: strs, seen: seen, rl: rl, rr: rr, perDoc: perDoc}
+	return &stage2Shared{syms: syms, seen: seen, rl: rl, rr: rr, perDoc: perDoc}
 }
 
 // evalShardBasic implements Algorithm 1 over one shard's templates: per
@@ -307,18 +314,19 @@ func (p *Processor) prepareViewMat(w *CurrentWitness) *stage2Shared {
 func (p *Processor) evalShardBasic(sh *shard, w *CurrentWitness, d *xmldoc.Document, run *splitRun) []Match {
 	var out []Match
 	var subs *docSubsets
+	var ar relation.Arena
 	for _, t := range sh.templates {
 		tcq := time.Now()
 		// Fresh per-template value-join pair relation
 		// Rvj(docid, nodeL, nodeR, strVal). Recomputing it per template
-		// is exactly the redundancy Section 5 removes.
+		// is exactly the redundancy Section 5 removes. The rows are
+		// arena-carved: they live only for this document's evaluation.
 		rvj := relation.New("docid", "nodeL", "nodeR", "strVal")
 		perDoc := map[xmldoc.DocID]int{}
 		for _, row := range w.RdocW.Rows {
-			s := row[1].S
-			for _, ri := range p.state.rdocByStr[s] {
+			for _, ri := range p.state.rdocBySym[row[1].SymID()] {
 				dt := p.state.Rdoc.Rows[ri]
-				rvj.Insert(dt[0], dt[1], row[0], dt[2])
+				ar.Insert(rvj, dt[0], dt[1], row[0], dt[2])
 				perDoc[xmldoc.DocID(dt[0].I)]++
 			}
 		}

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/relation"
+	"repro/internal/sym"
 	"repro/internal/xmldoc"
 )
 
@@ -95,7 +96,10 @@ func (p *Processor) ExportState() StateSnapshot {
 		})
 	}
 	for _, t := range s.Rdoc.Rows {
-		out.Rdoc = append(out.Rdoc, SnapRdoc{Doc: t[0].I, Node: t[1].I, Str: t[2].S})
+		// Interned symbols are process-scoped, so the snapshot carries the
+		// original string: snapshot bytes are identical to what a
+		// string-keyed engine would write, and ids never escape to disk.
+		out.Rdoc = append(out.Rdoc, SnapRdoc{Doc: t[0].I, Node: t[1].I, Str: sym.Name(t[2].SymID())})
 	}
 	for _, t := range s.Rroot.Rows {
 		out.Rroot = append(out.Rroot, SnapRoot{Doc: t[0].I, Var: p.syms.name(t[1].I), Node: t[2].I})
@@ -141,13 +145,13 @@ func (p *Processor) RestoreState(snap StateSnapshot) error {
 			relation.Int(r.Node1), relation.Int(r.Node2))
 	}
 	for _, r := range snap.Rdoc {
-		s.Rdoc.Insert(relation.Int(r.Doc), relation.Int(r.Node), relation.Str(r.Str))
+		s.Rdoc.Insert(relation.Int(r.Doc), relation.Int(r.Node), relation.Sym(sym.Intern(r.Str)))
 	}
 	for _, r := range snap.Rroot {
 		s.Rroot.Insert(relation.Int(r.Doc), relation.Int(p.syms.intern(r.Var)), relation.Int(r.Node))
 	}
 	for i, t := range s.Rdoc.Rows {
-		s.rdocByStr[t[2].S] = append(s.rdocByStr[t[2].S], i)
+		s.rdocBySym[t[2].SymID()] = append(s.rdocBySym[t[2].SymID()], i)
 	}
 	for i, t := range s.Rbin.Rows {
 		k := binKey{xmldoc.DocID(t[0].I), xmldoc.NodeID(t[4].I)}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"repro/internal/relation"
+	"repro/internal/sym"
 	"repro/internal/xmldoc"
 )
 
@@ -33,7 +34,9 @@ func (s *symtab) name(id int64) string { return s.names[id] }
 //	Rbin   (docid, var1, var2, node1, node2) — bindings of template
 //	        structural edges from previous documents
 //	Rdoc   (docid, node, strVal)             — string values of value-join
-//	        nodes from previous documents
+//	        nodes from previous documents; strVal is stored as an interned
+//	        symbol (relation.Sym), so value-join equality is a 4-byte
+//	        compare and never rehashes string bytes
 //	Rroot  (docid, var, node)                — root bindings for templates
 //	        whose side is a single node (see DESIGN.md)
 //	RdocTS (docid, timestamp)
@@ -50,11 +53,12 @@ type State struct {
 	seq     map[xmldoc.DocID]int64
 	nextSeq int64
 
-	// rdocByStr indexes Rdoc rows by string value; rbinByNode2 indexes
-	// Rbin rows by (docid, node2); rbinByVars indexes Rbin rows by their
-	// variable pair. All are maintained incrementally: the first two serve
-	// the view-materialization plan (EL,s), the third the RT-driven plan.
-	rdocByStr   map[string][]int
+	// rdocBySym indexes Rdoc rows by interned string value; rbinByNode2
+	// indexes Rbin rows by (docid, node2); rbinByVars indexes Rbin rows by
+	// their variable pair. All are maintained incrementally: the first two
+	// serve the view-materialization plan (EL,s), the third the RT-driven
+	// plan.
+	rdocBySym   map[sym.ID][]int
 	rbinByNode2 map[binKey][]int
 	rbinByVars  map[[2]int64][]int
 
@@ -84,7 +88,7 @@ func NewState() *State {
 		Rroot:       relation.New("docid", "var", "node"),
 		RdocTS:      map[xmldoc.DocID]xmldoc.Timestamp{},
 		seq:         map[xmldoc.DocID]int64{},
-		rdocByStr:   map[string][]int{},
+		rdocBySym:   map[sym.ID][]int{},
 		rbinByNode2: map[binKey][]int{},
 		rbinByVars:  map[[2]int64][]int{},
 		docs:        map[xmldoc.DocID]*xmldoc.Document{},
@@ -103,6 +107,13 @@ type CurrentWitness struct {
 	binSeen map[[4]int64]bool
 	docSeen map[xmldoc.NodeID]bool
 	rtSeen  map[[2]int64]bool
+
+	// arena slab-allocates the witness rows: the relations above are
+	// per-document and dropped together, so their tuples share chunks
+	// instead of costing one allocation each. Merge copies surviving rows
+	// into fresh long-lived tuples, so nothing arena-backed outlives the
+	// document.
+	arena relation.Arena
 
 	// rrSlices holds the current document's RR rows (var1, var2, node1,
 	// node2, strVal) between conjunctive-query evaluation and view-cache
@@ -132,16 +143,18 @@ func (w *CurrentWitness) AddBin(var1, var2 int64, n1, n2 xmldoc.NodeID) {
 		return
 	}
 	w.binSeen[k] = true
-	w.RbinW.Insert(relation.Int(var1), relation.Int(var2), relation.Int(int64(n1)), relation.Int(int64(n2)))
+	w.arena.Insert(w.RbinW, relation.Int(var1), relation.Int(var2), relation.Int(int64(n1)), relation.Int(int64(n2)))
 }
 
-// AddDoc inserts a deduplicated node string value tuple.
+// AddDoc inserts a deduplicated node string value tuple. The string value is
+// interned here, at the Stage-1 boundary: everything downstream (witness
+// joins, the view caches, the incremental indexes) sees only the symbol.
 func (w *CurrentWitness) AddDoc(n xmldoc.NodeID, strVal string) {
 	if w.docSeen[n] {
 		return
 	}
 	w.docSeen[n] = true
-	w.RdocW.Insert(relation.Int(int64(n)), relation.Str(strVal))
+	w.arena.Insert(w.RdocW, relation.Int(int64(n)), relation.Sym(sym.Intern(strVal)))
 }
 
 // AddRoot inserts a deduplicated root binding tuple.
@@ -151,7 +164,7 @@ func (w *CurrentWitness) AddRoot(v int64, n xmldoc.NodeID) {
 		return
 	}
 	w.rtSeen[k] = true
-	w.RrootW.Insert(relation.Int(v), relation.Int(int64(n)))
+	w.arena.Insert(w.RrootW, relation.Int(v), relation.Int(int64(n)))
 }
 
 // Merge folds the current document's witness relations into the join state,
@@ -170,7 +183,8 @@ func (s *State) Merge(w *CurrentWitness, retainDoc bool) {
 	}
 	for _, t := range w.RdocW.Rows {
 		s.Rdoc.Insert(did, t[0], t[1])
-		s.rdocByStr[t[1].S] = append(s.rdocByStr[t[1].S], s.Rdoc.Len()-1)
+		id := t[1].SymID()
+		s.rdocBySym[id] = append(s.rdocBySym[id], s.Rdoc.Len()-1)
 	}
 	for _, t := range w.RrootW.Rows {
 		s.Rroot.Insert(did, t[0], t[1])
@@ -187,18 +201,20 @@ func (s *State) Merge(w *CurrentWitness, retainDoc bool) {
 	}
 }
 
-// HasString reports whether any previous document produced a value-join node
-// with the given string value (the semi-join of Algorithm 4, line 2, served
-// from the incremental index).
-func (s *State) HasString(str string) bool { return len(s.rdocByStr[str]) > 0 }
+// HasSym reports whether any previous document produced a value-join node
+// with the given (interned) string value — the semi-join of Algorithm 4,
+// line 2, served from the incremental index.
+func (s *State) HasSym(id sym.ID) bool { return len(s.rdocBySym[id]) > 0 }
 
 // SliceEL computes E_{L,s} = σ_{strVal=s}(Rdoc) ⋈_{node=node2} Rbin — the
 // per-string slice of the left view RL (Section 5) — using the incremental
 // indexes. The result schema is (docid, var1, var2, node1, node2, strVal).
-func (s *State) SliceEL(str string) *relation.Relation {
+// Slices are cached across documents (ViewCache), so their tuples are heap
+// allocated, never arena carved.
+func (s *State) SliceEL(id sym.ID) *relation.Relation {
 	out := relation.New("docid", "var1", "var2", "node1", "node2", "strVal")
-	sv := relation.Str(str)
-	for _, ri := range s.rdocByStr[str] {
+	sv := relation.Sym(id)
+	for _, ri := range s.rdocBySym[id] {
 		dt := s.Rdoc.Rows[ri]
 		doc := xmldoc.DocID(dt[0].I)
 		node := xmldoc.NodeID(dt[1].I)
@@ -242,9 +258,9 @@ func (s *State) GC(cutoffTS xmldoc.Timestamp, cutoffSeq int64) map[xmldoc.DocID]
 	s.Rbin = filter(s.Rbin)
 	s.Rdoc = filter(s.Rdoc)
 	s.Rroot = filter(s.Rroot)
-	s.rdocByStr = map[string][]int{}
+	s.rdocBySym = map[sym.ID][]int{}
 	for i, t := range s.Rdoc.Rows {
-		s.rdocByStr[t[2].S] = append(s.rdocByStr[t[2].S], i)
+		s.rdocBySym[t[2].SymID()] = append(s.rdocBySym[t[2].SymID()], i)
 	}
 	s.rbinByNode2 = map[binKey][]int{}
 	s.rbinByVars = map[[2]int64][]int{}

@@ -4,18 +4,21 @@ import (
 	"container/list"
 
 	"repro/internal/relation"
+	"repro/internal/sym"
 	"repro/internal/xmldoc"
 )
 
 // ViewCache is the Section-5 cache of materialized RL slices: each entry is
-// keyed by a string value s and holds the relation R_{L,s} — the part of the
-// materialized left view whose tuples carry string value s. Entries are
+// keyed by the interned symbol of a string value s (internal/sym) and holds
+// the relation R_{L,s} — the part of the materialized left view whose
+// tuples carry string value s. Symbol keys hash in constant time; they are
+// process-scoped, which is fine because caches are never snapshotted. Entries are
 // maintained incrementally by Algorithm 5 and evicted with an LRU policy
 // when a capacity is configured ("Cached entries can be replaced by a cache
 // replacement policy appropriate for the workload, such as LRU").
 type ViewCache struct {
 	capacity int // 0 = unbounded
-	entries  map[string]*list.Element
+	entries  map[sym.ID]*list.Element
 	order    *list.List // front = most recently used
 
 	hits, misses, evictions int64
@@ -26,7 +29,7 @@ type ViewCache struct {
 }
 
 type cacheEntry struct {
-	key   string
+	key   sym.ID
 	slice *relation.Relation
 	// docs is the set of documents the slice references, so GC staleness
 	// checks are O(expired docs) instead of rescanning every slice row.
@@ -49,13 +52,13 @@ func sliceDocs(slice *relation.Relation) map[xmldoc.DocID]struct{} {
 func NewViewCache(capacity int) *ViewCache {
 	return &ViewCache{
 		capacity: capacity,
-		entries:  map[string]*list.Element{},
+		entries:  map[sym.ID]*list.Element{},
 		order:    list.New(),
 	}
 }
 
 // Get returns the cached slice for s, marking it most recently used.
-func (c *ViewCache) Get(s string) (*relation.Relation, bool) {
+func (c *ViewCache) Get(s sym.ID) (*relation.Relation, bool) {
 	e, ok := c.entries[s]
 	if !ok {
 		c.misses++
@@ -68,7 +71,7 @@ func (c *ViewCache) Get(s string) (*relation.Relation, bool) {
 
 // Put inserts (or replaces) the slice for s, evicting the least recently
 // used entry if the capacity is exceeded.
-func (c *ViewCache) Put(s string, slice *relation.Relation) {
+func (c *ViewCache) Put(s sym.ID, slice *relation.Relation) {
 	if e, ok := c.entries[s]; ok {
 		ent := e.Value.(*cacheEntry)
 		ent.slice = slice
@@ -91,14 +94,14 @@ func (c *ViewCache) Put(s string, slice *relation.Relation) {
 // unregisters (processor.reclaimAll).
 func (c *ViewCache) Clear() {
 	c.invalidations += int64(len(c.entries))
-	c.entries = map[string]*list.Element{}
+	c.entries = map[sym.ID]*list.Element{}
 	c.order.Init()
 }
 
 // GetAndNote is Get for the Algorithm-5 maintenance path: the caller is
 // about to insert rows of document d into the returned slice, so the
 // entry's doc set is updated in the same lookup.
-func (c *ViewCache) GetAndNote(s string, d xmldoc.DocID) (*relation.Relation, bool) {
+func (c *ViewCache) GetAndNote(s sym.ID, d xmldoc.DocID) (*relation.Relation, bool) {
 	e, ok := c.entries[s]
 	if !ok {
 		c.misses++

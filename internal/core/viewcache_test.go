@@ -5,23 +5,24 @@ import (
 	"testing"
 
 	"repro/internal/relation"
+	"repro/internal/sym"
 )
 
 func sliceOf(vals ...int64) *relation.Relation {
 	r := relation.New("docid", "var1", "var2", "node1", "node2", "strVal")
 	for _, v := range vals {
-		r.Insert(relation.Int(v), relation.Int(0), relation.Int(0), relation.Int(0), relation.Int(0), relation.Str("s"))
+		r.Insert(relation.Int(v), relation.Int(0), relation.Int(0), relation.Int(0), relation.Int(0), relation.Sym(sym.Intern("s")))
 	}
 	return r
 }
 
 func TestViewCachePutGet(t *testing.T) {
 	c := NewViewCache(0)
-	if _, ok := c.Get("a"); ok {
+	if _, ok := c.Get(sym.Intern("a")); ok {
 		t.Error("empty cache hit")
 	}
-	c.Put("a", sliceOf(1))
-	got, ok := c.Get("a")
+	c.Put(sym.Intern("a"), sliceOf(1))
+	got, ok := c.Get(sym.Intern("a"))
 	if !ok || got.Len() != 1 {
 		t.Errorf("get = %v, %v", got, ok)
 	}
@@ -33,17 +34,17 @@ func TestViewCachePutGet(t *testing.T) {
 
 func TestViewCacheLRUEviction(t *testing.T) {
 	c := NewViewCache(2)
-	c.Put("a", sliceOf(1))
-	c.Put("b", sliceOf(2))
-	c.Get("a") // a is now more recent than b
-	c.Put("c", sliceOf(3))
-	if _, ok := c.Get("b"); ok {
+	c.Put(sym.Intern("a"), sliceOf(1))
+	c.Put(sym.Intern("b"), sliceOf(2))
+	c.Get(sym.Intern("a")) // a is now more recent than b
+	c.Put(sym.Intern("c"), sliceOf(3))
+	if _, ok := c.Get(sym.Intern("b")); ok {
 		t.Error("b survived eviction, want LRU evicted")
 	}
-	if _, ok := c.Get("a"); !ok {
+	if _, ok := c.Get(sym.Intern("a")); !ok {
 		t.Error("a evicted despite recent use")
 	}
-	if _, ok := c.Get("c"); !ok {
+	if _, ok := c.Get(sym.Intern("c")); !ok {
 		t.Error("c missing")
 	}
 	_, _, ev := c.HitRate()
@@ -57,9 +58,9 @@ func TestViewCacheLRUEviction(t *testing.T) {
 
 func TestViewCacheReplace(t *testing.T) {
 	c := NewViewCache(2)
-	c.Put("a", sliceOf(1))
-	c.Put("a", sliceOf(1, 2))
-	got, _ := c.Get("a")
+	c.Put(sym.Intern("a"), sliceOf(1))
+	c.Put(sym.Intern("a"), sliceOf(1, 2))
+	got, _ := c.Get(sym.Intern("a"))
 	if got.Len() != 2 {
 		t.Errorf("replace did not take: %d rows", got.Len())
 	}
@@ -71,13 +72,13 @@ func TestViewCacheReplace(t *testing.T) {
 func TestViewCacheClear(t *testing.T) {
 	c := NewViewCache(0)
 	for i := 0; i < 10; i++ {
-		c.Put(fmt.Sprint(i), sliceOf(int64(i)))
+		c.Put(sym.Intern(fmt.Sprint(i)), sliceOf(int64(i)))
 	}
 	c.Clear()
 	if c.Len() != 0 {
 		t.Errorf("len = %d after clear", c.Len())
 	}
-	if _, ok := c.Get("3"); ok {
+	if _, ok := c.Get(sym.Intern("3")); ok {
 		t.Error("entry survived clear")
 	}
 }
@@ -85,7 +86,7 @@ func TestViewCacheClear(t *testing.T) {
 func TestViewCacheUnboundedNeverEvicts(t *testing.T) {
 	c := NewViewCache(0)
 	for i := 0; i < 1000; i++ {
-		c.Put(fmt.Sprint(i), sliceOf(int64(i)))
+		c.Put(sym.Intern(fmt.Sprint(i)), sliceOf(int64(i)))
 	}
 	if c.Len() != 1000 {
 		t.Errorf("len = %d", c.Len())

@@ -49,6 +49,10 @@ var Grammar = []DirectiveSpec{
 		Name: "nolock", Arg: "<reason>", ArgRequired: true,
 		Doc: "function exempt from guarded checks; <reason> states why access is exclusive (guarded)",
 	},
+	{
+		Name: "pooled", Arg: "<reason>", ArgRequired: true,
+		Doc: "sync.Pool declaration; <reason> argues pooled objects are reset on reuse and never escape (pooled)",
+	},
 }
 
 // SpecFor returns the grammar entry for a directive name.

@@ -19,6 +19,8 @@ func TestParseDirectiveText(t *testing.T) {
 		{"//mmqjp:shardaccess registration-quiesced", ""},
 		{"//mmqjp:nondet seeded PRNG", ""},
 		{"//mmqjp:nolock under construction", ""},
+		{"//mmqjp:pooled scratch reset on Get, nothing escapes", ""},
+		{"//mmqjp:pooled", "requires an argument"},
 		{"//mmqjp:unknown x", "unknown directive"},
 		{"//mmqjp:unordered", "requires an argument"},
 		{"//mmqjp:shardowned extra", "takes no argument"},

@@ -1,0 +1,111 @@
+// Package pooled enforces the scratch-reuse contract: every sync.Pool
+// declaration (package-level var, local var, or struct field) must carry a
+// `//mmqjp:pooled <reason>` annotation arguing that pooled objects are reset
+// on reuse and that nothing handed out from the pool escapes its checkout
+// window. A pool is easy to add and easy to get subtly wrong — returning an
+// object while a caller still holds a sub-slice of it is a use-after-recycle
+// that the race detector cannot see (same goroutine, no lock) — so the
+// annotation forces the escape argument to be written down next to the pool,
+// where a reviewer changing either side will find it.
+package pooled
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint"
+)
+
+type analyzer struct{}
+
+// New returns the pooled analyzer.
+func New() lint.Analyzer { return analyzer{} }
+
+func (analyzer) Name() string { return "pooled" }
+
+func (a analyzer) Run(prog *lint.Program) []lint.Diagnostic {
+	var diags []lint.Diagnostic
+	for _, pkg := range prog.Pkgs {
+		dirs := prog.DirectivesFor(pkg)
+		for _, file := range pkg.Files {
+			fname := prog.Fset.Position(file.Pos()).Filename
+			ast.Inspect(file, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.ValueSpec:
+					for _, name := range n.Names {
+						v, ok := pkg.Info.Defs[name].(*types.Var)
+						// A blank binding can never hand out pooled objects.
+						if !ok || name.Name == "_" || !isSyncPool(v.Type()) {
+							continue
+						}
+						if annotatedByLine(dirs, prog, fname, name) {
+							continue
+						}
+						diags = append(diags, diag(prog, name.Pos(), name.Name))
+					}
+				case *ast.StructType:
+					for _, field := range n.Fields.List {
+						for _, name := range field.Names {
+							v, ok := pkg.Info.Defs[name].(*types.Var)
+							if !ok || !isSyncPool(v.Type()) {
+								continue
+							}
+							if hasPooled(dirs.Fields[v]) {
+								continue
+							}
+							diags = append(diags, diag(prog, name.Pos(), name.Name))
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	lint.SortDiagnostics(diags)
+	return diags
+}
+
+func diag(prog *lint.Program, pos token.Pos, name string) lint.Diagnostic {
+	return lint.Diagnostic{
+		Pos:      prog.Fset.Position(pos),
+		Analyzer: "pooled",
+		Message: fmt.Sprintf("sync.Pool %s must be annotated %spooled <reason> arguing pooled objects are reset and never escape",
+			name, lint.DirectivePrefix),
+	}
+}
+
+// isSyncPool reports whether t is sync.Pool or *sync.Pool.
+func isSyncPool(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "Pool"
+}
+
+// annotatedByLine reports whether a pooled directive sits on the declaring
+// line or the line above it (the statement-attachment rule).
+func annotatedByLine(dirs *lint.Directives, prog *lint.Program, fname string, name *ast.Ident) bool {
+	line := prog.Fset.Position(name.Pos()).Line
+	for _, l := range []int{line, line - 1} {
+		if hasPooled(dirs.ByLine[fname][l]) {
+			return true
+		}
+	}
+	return false
+}
+
+func hasPooled(ds []lint.Directive) bool {
+	for _, d := range ds {
+		if d.Name == "pooled" {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,13 @@
+package pooled
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/linttest"
+)
+
+func TestFixture(t *testing.T) {
+	linttest.Golden(t, []lint.Analyzer{New()},
+		"../testdata/src/pooled", "../testdata/pooled.golden")
+}

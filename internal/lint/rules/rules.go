@@ -10,6 +10,7 @@ import (
 	"repro/internal/lint/guarded"
 	"repro/internal/lint/mapiter"
 	"repro/internal/lint/nodeterm"
+	"repro/internal/lint/pooled"
 	"repro/internal/lint/shardowned"
 	"repro/internal/lint/statswired"
 )
@@ -32,6 +33,7 @@ func Default() []lint.Analyzer {
 		nodeterm.New(nodeterm.Config{Enforce: func(pkgPath string) bool {
 			return pkgPath == module+"/internal/core"
 		}}),
+		pooled.New(),
 	}
 }
 

@@ -11,10 +11,13 @@ var b int
 //mmqjp:shardowned with an argument
 var c int
 
+//mmqjp:pooled
+var e int
+
 type s struct {
 	//mmqjp:shardowned
 	d int
 }
 
-var _ = a + b + c
+var _ = a + b + c + e
 var _ = s{}

@@ -1,0 +1,29 @@
+// Package fixture seeds sync.Pool declarations with and without the
+// required //mmqjp:pooled annotation.
+package fixture
+
+import "sync"
+
+//mmqjp:pooled objects are reset before Put and nothing escapes
+var goodPool = sync.Pool{New: func() any { return new([]byte) }}
+
+var badPool = sync.Pool{New: func() any { return new([]byte) }}
+
+type holder struct {
+	//mmqjp:pooled scratch truncated on Release
+	goodField sync.Pool
+
+	badField *sync.Pool
+}
+
+func local() {
+	//mmqjp:pooled short-lived local pool, drained before return
+	var goodLocal sync.Pool
+	var badLocal sync.Pool
+	_ = &goodLocal
+	_ = &badLocal
+}
+
+var _ = &goodPool
+var _ = &badPool
+var _ = holder{}

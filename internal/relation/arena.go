@@ -1,0 +1,55 @@
+package relation
+
+// Arena slab-allocates tuples: many small rows are sliced out of large
+// shared chunks, so building a witness relation costs one allocation per
+// few thousand values instead of one per row. Tuples remain immutable after
+// insertion by the package convention, and an arena is never reset or
+// reused — dropping the arena and every relation built from it is how the
+// memory is reclaimed (per-document use in internal/core). Arenas are not
+// safe for concurrent use.
+type Arena struct {
+	chunk []Value
+	// next is the size of the next chunk. Chunks grow geometrically from
+	// arenaChunkStart to arenaChunkMax: a document with a handful of
+	// witness rows pays for a small slab, a heavy one still amortizes to
+	// one allocation per ~1000 rows.
+	next int
+}
+
+// Chunk growth bounds, in values. Witness-relation rows are 2–6 values.
+const (
+	arenaChunkStart = 128
+	arenaChunkMax   = 4096
+)
+
+// Tuple returns a zeroed n-value tuple carved from the arena. The tuple has
+// capacity exactly n, so appending to it never bleeds into a neighbour.
+func (a *Arena) Tuple(n int) Tuple {
+	if n > len(a.chunk) {
+		if a.next == 0 {
+			a.next = arenaChunkStart
+		}
+		size := a.next
+		if a.next < arenaChunkMax {
+			a.next *= 2
+		}
+		if n > size {
+			size = n
+		}
+		a.chunk = make([]Value, size)
+	}
+	t := Tuple(a.chunk[:n:n])
+	a.chunk = a.chunk[n:]
+	return t
+}
+
+// Insert appends a row built from vals to r, with the tuple's storage
+// carved from the arena.
+func (a *Arena) Insert(r *Relation, vals ...Value) {
+	if len(vals) != len(r.Schema) {
+		panic("relation: arena insert arity mismatch")
+	}
+	t := a.Tuple(len(vals))
+	copy(t, vals)
+	r.Rows = append(r.Rows, t)
+}

@@ -44,6 +44,11 @@ func EvalConjunctive(atoms []Atom, head []string) *Relation {
 		}
 	}
 
+	// Intermediate results never outlive the evaluation (projectHead copies
+	// the surviving rows onto the heap), so their tuples are carved from a
+	// per-call arena — one allocation per slab instead of one per row.
+	var ar Arena
+
 	// Apply intra-atom selections (repeated variables) and drop ignored
 	// columns, producing intermediate relations whose schemas are the CQ
 	// variable names. Indexed atoms are handled by probing and skip this
@@ -51,7 +56,7 @@ func EvalConjunctive(atoms []Atom, head []string) *Relation {
 	work := make([]*Relation, len(atoms))
 	for i, a := range atoms {
 		if a.Idx == nil {
-			work[i] = atomRelation(a)
+			work[i] = atomRelation(a, &ar)
 		}
 	}
 
@@ -79,7 +84,7 @@ func EvalConjunctive(atoms []Atom, head []string) *Relation {
 		probed := false
 		for k, idx := range indexed {
 			if varsBound(cur.Schema, atoms[idx].IdxVars) {
-				cur = probeJoin(cur, atoms[idx])
+				cur = probeJoin(cur, atoms[idx], &ar)
 				indexed = append(indexed[:k], indexed[k+1:]...)
 				probed = true
 				break
@@ -96,7 +101,7 @@ func EvalConjunctive(atoms []Atom, head []string) *Relation {
 			// back to scanning them.
 			idx := indexed[0]
 			indexed = indexed[1:]
-			cur = naturalJoin(cur, atomRelation(atoms[idx]))
+			cur = naturalJoin(cur, atomRelation(atoms[idx], &ar), &ar)
 			if cur.Len() == 0 {
 				break
 			}
@@ -124,7 +129,7 @@ func EvalConjunctive(atoms []Atom, head []string) *Relation {
 		}
 		idx := remaining[best]
 		remaining = append(remaining[:best], remaining[best+1:]...)
-		cur = naturalJoin(cur, work[idx])
+		cur = naturalJoin(cur, work[idx], &ar)
 		if cur.Len() == 0 {
 			// Short-circuit: the remaining joins cannot add rows,
 			// but the head schema must still be correct.
@@ -158,13 +163,16 @@ func EvalConjunctiveOrdered(atoms []Atom, head []string) *Relation {
 	if len(scans) == 0 {
 		panic("relation: conjunctive query with only indexed atoms")
 	}
-	cur := atomRelation(atoms[scans[0]])
+	// As in EvalConjunctive, intermediates are arena-backed: projectHead
+	// copies the result rows, so nothing carved here escapes the call.
+	var ar Arena
+	cur := atomRelation(atoms[scans[0]], &ar)
 	scans = scans[1:]
 	for (len(scans) > 0 || len(indexed) > 0) && cur.Len() > 0 {
 		probed := false
 		for k, idx := range indexed {
 			if varsBound(cur.Schema, atoms[idx].IdxVars) {
-				cur = probeJoin(cur, atoms[idx])
+				cur = probeJoin(cur, atoms[idx], &ar)
 				indexed = append(indexed[:k], indexed[k+1:]...)
 				probed = true
 				break
@@ -177,11 +185,11 @@ func EvalConjunctiveOrdered(atoms []Atom, head []string) *Relation {
 		if len(scans) > 0 {
 			idx = scans[0]
 			scans = scans[1:]
-			cur = naturalJoin(cur, atomRelation(atoms[idx]))
+			cur = naturalJoin(cur, atomRelation(atoms[idx], &ar), &ar)
 		} else {
 			idx = indexed[0]
 			indexed = indexed[1:]
-			cur = naturalJoin(cur, atomRelation(atoms[idx]))
+			cur = naturalJoin(cur, atomRelation(atoms[idx], &ar), &ar)
 		}
 	}
 	return projectHead(cur, head)
@@ -199,7 +207,9 @@ func varsBound(s Schema, vars []string) bool {
 // probeJoin joins cur with an indexed atom by probing the atom's index once
 // per row of cur. Shared variables not covered by the index are verified
 // per candidate row; unshared atom variables are appended to the output.
-func probeJoin(cur *Relation, a Atom) *Relation {
+// Probes go through the index's map directly with a reused scratch key, so
+// the per-row probe allocates nothing; output tuples come from ar.
+func probeJoin(cur *Relation, a Atom, ar *Arena) *Relation {
 	keyCols := make([]int, len(a.IdxVars))
 	for i, v := range a.IdxVars {
 		keyCols[i] = cur.Schema.Col(v)
@@ -239,12 +249,14 @@ func probeJoin(cur *Relation, a Atom) *Relation {
 		outSchema = append(outSchema, v)
 	}
 	out := &Relation{Schema: outSchema}
-	key := make([]Value, len(keyCols))
+	var kb []byte
 	for _, ct := range cur.Rows {
-		for i, c := range keyCols {
-			key[i] = ct[c]
+		kb = kb[:0]
+		for _, c := range keyCols {
+			kb = ct[c].appendKey(kb)
 		}
-		for _, at := range a.Idx.Probe(key...) {
+		for _, ri := range a.Idx.m[string(kb)] {
+			at := a.Idx.rel.Rows[ri]
 			ok := true
 			for _, e := range intra {
 				if !at[e.a].Equal(at[e.b]) {
@@ -261,7 +273,7 @@ func probeJoin(cur *Relation, a Atom) *Relation {
 			if !ok {
 				continue
 			}
-			nt := make(Tuple, 0, len(outSchema))
+			nt := ar.Tuple(len(outSchema))[:0]
 			nt = append(nt, ct...)
 			for _, c := range appendCols {
 				nt = append(nt, at[c])
@@ -274,7 +286,10 @@ func probeJoin(cur *Relation, a Atom) *Relation {
 
 // atomRelation converts an atom to a relation over its variable names,
 // applying intra-atom equality selections and dropping ignored columns.
-func atomRelation(a Atom) *Relation {
+// Copied rows are carved from ar; the common case — every column bound to a
+// distinct variable — shares the atom's row slice outright (tuples are
+// immutable by package convention, and the evaluator only reads them).
+func atomRelation(a Atom, ar *Arena) *Relation {
 	// Positions of the first occurrence of each kept variable.
 	var outVars []string
 	var outCols []int
@@ -293,6 +308,10 @@ func atomRelation(a Atom) *Relation {
 		outVars = append(outVars, v)
 		outCols = append(outCols, i)
 	}
+	if len(eqs) == 0 && len(outCols) == len(a.Vars) {
+		// Identity projection, no selections: alias the rows.
+		return &Relation{Schema: Schema(outVars), Rows: a.Rel.Rows}
+	}
 	out := New(outVars...)
 	for _, t := range a.Rel.Rows {
 		ok := true
@@ -305,7 +324,7 @@ func atomRelation(a Atom) *Relation {
 		if !ok {
 			continue
 		}
-		nt := make(Tuple, len(outCols))
+		nt := ar.Tuple(len(outCols))
 		for k, c := range outCols {
 			nt[k] = t[c]
 		}
@@ -328,8 +347,9 @@ func sharedVarCount(a, b Schema) int {
 	return n
 }
 
-// naturalJoin joins on all shared column names.
-func naturalJoin(l, r *Relation) *Relation {
+// naturalJoin joins on all shared column names, carving output tuples from
+// ar when non-nil.
+func naturalJoin(l, r *Relation, ar *Arena) *Relation {
 	var shared []string
 	for _, c := range r.Schema {
 		if l.Schema.Has(c) {
@@ -337,9 +357,9 @@ func naturalJoin(l, r *Relation) *Relation {
 		}
 	}
 	if len(shared) == 0 {
-		return CrossProduct(l, r)
+		return crossProductArena(l, r, ar)
 	}
-	return HashJoin(l, r, shared, shared)
+	return hashJoinArena(l, r, shared, shared, ar)
 }
 
 func projectHead(r *Relation, head []string) *Relation {

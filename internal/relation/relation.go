@@ -4,24 +4,30 @@
 // named schemas, hash joins, semi-joins, selections, projections, unions and
 // hash indexes — everything the Stage-2 plans of Sections 4 and 5 need.
 //
-// Values are either int64 (document ids, node ids, window lengths, interned
-// variable names) or strings (node string values). Relations are append-only
-// row stores; operators produce new relations and never mutate inputs,
-// except for the explicit mutators Insert and UnionInPlace used for join
-// state maintenance (Algorithm 2).
+// Values are int64s (document ids, node ids, window lengths, interned
+// variable names), strings (node string values), or interned symbols
+// (internal/sym ids standing for node string values on the hot join path:
+// 4-byte compare-and-hash instead of re-hashing string bytes per row).
+// Relations are append-only row stores; operators produce new relations and
+// never mutate inputs, except for the explicit mutators Insert and
+// UnionInPlace used for join state maintenance (Algorithm 2).
 package relation
 
 import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"repro/internal/sym"
 )
 
-// Value is a single attribute value: an int64 or a string.
+// Value is a single attribute value: an int64, a string, or an interned
+// symbol.
 type Value struct {
-	I   int64
-	S   string
-	Str bool // true when the value is the string S, false for int I
+	I     int64
+	S     string
+	Str   bool // true when the value is the string S
+	IsSym bool // true when the value is the interned symbol with id I
 }
 
 // Int returns an integer value.
@@ -30,9 +36,23 @@ func Int(i int64) Value { return Value{I: i} }
 // Str returns a string value.
 func Str(s string) Value { return Value{S: s, Str: true} }
 
-// Equal reports value equality (ints and strings never compare equal).
+// Sym returns an interned-symbol value. Symbols compare equal only to
+// symbols (never to the Int of the same id or the Str of the same text), so
+// plans cannot accidentally join an id column against a count column.
+func Sym(id sym.ID) Value { return Value{I: int64(id), IsSym: true} }
+
+// SymID returns the symbol id of an interned-symbol value. It panics on
+// other kinds: reading a symbol out of a non-symbol column is a plan bug.
+func (v Value) SymID() sym.ID {
+	if !v.IsSym {
+		panic("relation: SymID on non-symbol value")
+	}
+	return sym.ID(v.I)
+}
+
+// Equal reports value equality (distinct kinds never compare equal).
 func (v Value) Equal(o Value) bool {
-	if v.Str != o.Str {
+	if v.Str != o.Str || v.IsSym != o.IsSym {
 		return false
 	}
 	if v.Str {
@@ -41,10 +61,15 @@ func (v Value) Equal(o Value) bool {
 	return v.I == o.I
 }
 
-// String renders the value for debugging and golden tests.
+// String renders the value for debugging and golden tests. Symbols render
+// as their interned string, so goldens are identical whichever encoding a
+// column uses.
 func (v Value) String() string {
 	if v.Str {
 		return v.S
+	}
+	if v.IsSym {
+		return sym.Name(sym.ID(v.I))
 	}
 	return fmt.Sprint(v.I)
 }
@@ -52,7 +77,9 @@ func (v Value) String() string {
 // appendKey appends a self-delimiting encoding of v to b, for use in
 // composite hash keys. The encoding is binary (kind tag, then an 8-byte
 // length or integer, then string bytes); hash keys are built for every row
-// of every join, so this path avoids fmt entirely.
+// of every join, so this path avoids fmt entirely. Symbols encode as their
+// 4-byte id under a distinct tag — within one process equal symbols have
+// equal ids, so key equality matches Equal.
 func (v Value) appendKey(b []byte) []byte {
 	if v.Str {
 		n := uint64(len(v.S))
@@ -60,6 +87,10 @@ func (v Value) appendKey(b []byte) []byte {
 			byte(n), byte(n>>8), byte(n>>16), byte(n>>24),
 			byte(n>>32), byte(n>>40), byte(n>>48), byte(n>>56))
 		return append(b, v.S...)
+	}
+	if v.IsSym {
+		u := uint32(v.I)
+		return append(b, 'y', byte(u), byte(u>>8), byte(u>>16), byte(u>>24))
 	}
 	u := uint64(v.I)
 	return append(b, 'i',
@@ -72,11 +103,18 @@ type Tuple []Value
 
 // Key encodes the tuple's values at the given column positions as a hash key.
 func (t Tuple) Key(cols []int) string {
-	b := make([]byte, 0, 16*len(cols))
+	return string(t.appendKeyCols(make([]byte, 0, 16*len(cols)), cols))
+}
+
+// appendKeyCols appends the hash-key encoding of the values at cols to b.
+// The hot joins reuse one scratch buffer across rows and look keys up as
+// m[string(buf)] — a form the compiler compiles without materializing the
+// string — so steady-state probes allocate nothing.
+func (t Tuple) appendKeyCols(b []byte, cols []int) []byte {
 	for _, c := range cols {
 		b = t[c].appendKey(b)
 	}
-	return string(b)
+	return b
 }
 
 // Schema is an ordered list of column names.
@@ -197,10 +235,13 @@ func (r *Relation) Distinct() *Relation {
 	}
 	seen := map[string]bool{}
 	out := &Relation{Schema: r.Schema}
+	var kb []byte
 	for _, t := range r.Rows {
-		k := t.Key(all)
-		if !seen[k] {
-			seen[k] = true
+		kb = t.appendKeyCols(kb[:0], all)
+		// The map lookup with string(kb) is allocation-free; the key string
+		// is materialized only for the first occurrence of each row.
+		if !seen[string(kb)] {
+			seen[string(kb)] = true
 			out.Rows = append(out.Rows, t)
 		}
 	}
@@ -225,9 +266,10 @@ type Index struct {
 // BuildIndex builds a hash index on the named columns.
 func (r *Relation) BuildIndex(cols ...string) *Index {
 	idx := &Index{rel: r, cols: r.Schema.Cols(cols...), m: map[string][]int{}}
+	var kb []byte
 	for i, t := range r.Rows {
-		k := t.Key(idx.cols)
-		idx.m[k] = append(idx.m[k], i)
+		kb = t.appendKeyCols(kb[:0], idx.cols)
+		idx.m[string(kb)] = append(idx.m[string(kb)], i)
 	}
 	return idx
 }
@@ -255,6 +297,17 @@ func identity(n int) []int {
 // schema is l's columns followed by r's columns minus r's join columns;
 // colliding names on the r side are suffixed with "_r".
 func HashJoin(l, r *Relation, lCols, rCols []string) *Relation {
+	return hashJoinArena(l, r, lCols, rCols, nil)
+}
+
+// hashJoinArena is HashJoin with the output tuples optionally carved from
+// an arena (nil = heap). The conjunctive evaluator passes a per-call arena
+// for its intermediate results, which never outlive the evaluation.
+//
+// The build table maps key → group index rather than key → rows: a scratch
+// buffer plus map-access-by-string(buf) keeps the probe side allocation-free
+// and materializes each key string once per distinct key, not once per row.
+func hashJoinArena(l, r *Relation, lCols, rCols []string, ar *Arena) *Relation {
 	li := l.Schema.Cols(lCols...)
 	ri := r.Schema.Cols(rCols...)
 	if len(li) != len(ri) {
@@ -285,36 +338,51 @@ func HashJoin(l, r *Relation, lCols, rCols []string) *Relation {
 	out := &Relation{Schema: outSchema}
 
 	// Build on the smaller side.
-	if len(l.Rows) <= len(r.Rows) {
-		build := map[string][]Tuple{}
-		for _, t := range l.Rows {
-			k := t.Key(li)
-			build[k] = append(build[k], t)
+	buildRows, probeRows := l.Rows, r.Rows
+	buildCols, probeCols := li, ri
+	buildIsLeft := true
+	if len(r.Rows) < len(l.Rows) {
+		buildRows, probeRows = r.Rows, l.Rows
+		buildCols, probeCols = ri, li
+		buildIsLeft = false
+	}
+	groupOf := map[string]int{}
+	var groups [][]Tuple
+	var kb []byte
+	for _, t := range buildRows {
+		kb = t.appendKeyCols(kb[:0], buildCols)
+		gi, ok := groupOf[string(kb)]
+		if !ok {
+			gi = len(groups)
+			groups = append(groups, nil)
+			groupOf[string(kb)] = gi
 		}
-		for _, rt := range r.Rows {
-			k := rt.Key(ri)
-			for _, lt := range build[k] {
-				out.Rows = append(out.Rows, joinTuple(lt, rt, keep))
+		groups[gi] = append(groups[gi], t)
+	}
+	for _, pt := range probeRows {
+		kb = pt.appendKeyCols(kb[:0], probeCols)
+		gi, ok := groupOf[string(kb)]
+		if !ok {
+			continue
+		}
+		for _, bt := range groups[gi] {
+			lt, rt := bt, pt
+			if !buildIsLeft {
+				lt, rt = pt, bt
 			}
-		}
-	} else {
-		build := map[string][]Tuple{}
-		for _, t := range r.Rows {
-			k := t.Key(ri)
-			build[k] = append(build[k], t)
-		}
-		for _, lt := range l.Rows {
-			k := lt.Key(li)
-			for _, rt := range build[k] {
-				out.Rows = append(out.Rows, joinTuple(lt, rt, keep))
-			}
+			out.Rows = append(out.Rows, joinTuple(lt, rt, keep, ar))
 		}
 	}
 	return out
 }
 
-func joinTuple(l, r Tuple, keep []int) Tuple {
-	nt := make(Tuple, 0, len(l)+len(keep))
+func joinTuple(l, r Tuple, keep []int, ar *Arena) Tuple {
+	var nt Tuple
+	if ar != nil {
+		nt = ar.Tuple(len(l) + len(keep))[:0]
+	} else {
+		nt = make(Tuple, 0, len(l)+len(keep))
+	}
 	nt = append(nt, l...)
 	for _, k := range keep {
 		nt = append(nt, r[k])
@@ -328,12 +396,17 @@ func SemiJoin(l, r *Relation, lCols, rCols []string) *Relation {
 	li := l.Schema.Cols(lCols...)
 	ri := r.Schema.Cols(rCols...)
 	present := map[string]bool{}
+	var kb []byte
 	for _, t := range r.Rows {
-		present[t.Key(ri)] = true
+		kb = t.appendKeyCols(kb[:0], ri)
+		if !present[string(kb)] {
+			present[string(kb)] = true
+		}
 	}
 	out := &Relation{Schema: l.Schema}
 	for _, t := range l.Rows {
-		if present[t.Key(li)] {
+		kb = t.appendKeyCols(kb[:0], li)
+		if present[string(kb)] {
 			out.Rows = append(out.Rows, t)
 		}
 	}
@@ -343,6 +416,10 @@ func SemiJoin(l, r *Relation, lCols, rCols []string) *Relation {
 // CrossProduct returns l × r. Used by Algorithm 2 to stamp witness relations
 // with the current document's timestamp.
 func CrossProduct(l, r *Relation) *Relation {
+	return crossProductArena(l, r, nil)
+}
+
+func crossProductArena(l, r *Relation, ar *Arena) *Relation {
 	outSchema := append(Schema(nil), l.Schema...)
 	for _, c := range r.Schema {
 		name := c
@@ -354,7 +431,12 @@ func CrossProduct(l, r *Relation) *Relation {
 	out := &Relation{Schema: outSchema}
 	for _, lt := range l.Rows {
 		for _, rt := range r.Rows {
-			nt := make(Tuple, 0, len(lt)+len(rt))
+			var nt Tuple
+			if ar != nil {
+				nt = ar.Tuple(len(lt) + len(rt))[:0]
+			} else {
+				nt = make(Tuple, 0, len(lt)+len(rt))
+			}
 			nt = append(nt, lt...)
 			nt = append(nt, rt...)
 			out.Rows = append(out.Rows, nt)

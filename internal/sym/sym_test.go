@@ -1,0 +1,84 @@
+package sym
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestInternRoundTrip(t *testing.T) {
+	a := Intern("channel")
+	b := Intern("channel")
+	if a != b {
+		t.Fatalf("same string interned to %d and %d", a, b)
+	}
+	if Name(a) != "channel" {
+		t.Fatalf("Name(%d) = %q", a, Name(a))
+	}
+	if c := Intern("item"); c == a {
+		t.Fatalf("distinct strings share id %d", c)
+	}
+}
+
+func TestZeroIDIsEmptyString(t *testing.T) {
+	if id := Intern(""); id != 0 {
+		t.Fatalf("empty string id = %d, want 0", id)
+	}
+	if Name(0) != "" {
+		t.Fatalf("Name(0) = %q", Name(0))
+	}
+}
+
+func TestAttrInternMatchesPrefixedIntern(t *testing.T) {
+	if got, want := AttrIntern("href"), Intern("@href"); got != want {
+		t.Fatalf("AttrIntern(href) = %d, Intern(@href) = %d", got, want)
+	}
+	// Hit path (already cached) must agree too.
+	if got, want := AttrIntern("href"), Intern("@href"); got != want {
+		t.Fatalf("cached AttrIntern(href) = %d, Intern(@href) = %d", got, want)
+	}
+}
+
+func TestLookupDoesNotIntern(t *testing.T) {
+	before := Count()
+	if _, ok := Lookup("sym-test-never-interned"); ok {
+		t.Fatal("Lookup invented a symbol")
+	}
+	if Count() != before {
+		t.Fatal("Lookup grew the table")
+	}
+	id := Intern("sym-test-now-interned")
+	if got, ok := Lookup("sym-test-now-interned"); !ok || got != id {
+		t.Fatalf("Lookup after Intern = (%d, %v), want (%d, true)", got, ok, id)
+	}
+}
+
+func TestConcurrentInternIsConsistent(t *testing.T) {
+	const goroutines = 8
+	const symbols = 200
+	ids := make([][]ID, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ids[g] = make([]ID, symbols)
+			for i := 0; i < symbols; i++ {
+				ids[g][i] = Intern(fmt.Sprintf("concurrent-%d", i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g := 1; g < goroutines; g++ {
+		for i := 0; i < symbols; i++ {
+			if ids[g][i] != ids[0][i] {
+				t.Fatalf("goroutine %d interned concurrent-%d as %d, goroutine 0 as %d", g, i, ids[g][i], ids[0][i])
+			}
+		}
+	}
+	for i := 0; i < symbols; i++ {
+		if Name(ids[0][i]) != fmt.Sprintf("concurrent-%d", i) {
+			t.Fatalf("Name(%d) = %q", ids[0][i], Name(ids[0][i]))
+		}
+	}
+}

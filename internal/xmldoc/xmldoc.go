@@ -14,6 +14,9 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"sync"
+
+	"repro/internal/sym"
 )
 
 // NodeID identifies a node within a single document by its pre-order index.
@@ -42,9 +45,14 @@ const (
 
 // Node is a single node of a parsed document.
 type Node struct {
-	ID       NodeID
-	Kind     NodeKind
-	Name     string // element tag or attribute name
+	ID   NodeID
+	Kind NodeKind
+	Name string // element tag or attribute name
+	// Sym is the interned symbol of the node's NFA transition label: the
+	// element name, or "@"+name for attributes (internal/sym). It is
+	// assigned at build/parse time so Stage-1 matching never touches the
+	// name string.
+	Sym      sym.ID
 	Parent   NodeID // -1 for the root
 	Children []NodeID
 	Depth    int32 // root is depth 0
@@ -109,27 +117,36 @@ func (d *Document) IsAncestor(a, b NodeID) bool {
 func (d *Document) finalize() {
 	d.strValues = make([]string, len(d.Nodes))
 	// Post-order accumulation: children have larger pre-order ids than
-	// their parent, so a reverse scan visits children before parents.
-	var parts = make([][]string, len(d.Nodes))
+	// their parent, so a reverse scan visits children before parents and
+	// can concatenate their already-memoized values directly.
 	for i := len(d.Nodes) - 1; i >= 0; i-- {
 		n := &d.Nodes[i]
 		if n.Kind == AttributeNode {
 			d.strValues[i] = n.text
 			continue
 		}
-		var sb strings.Builder
-		sb.WriteString(n.text)
-		// Children in document order; attribute children do not
-		// contribute to an element's string value (XPath semantics).
+		// Attribute children do not contribute to an element's string
+		// value (XPath semantics); elements with no element children —
+		// the vast majority of nodes — reuse their text verbatim.
+		hasElemChild := false
 		for _, c := range n.Children {
 			if d.Nodes[c].Kind == ElementNode {
-				for _, p := range parts[c] {
-					sb.WriteString(p)
-				}
+				hasElemChild = true
+				break
+			}
+		}
+		if !hasElemChild {
+			d.strValues[i] = n.text
+			continue
+		}
+		var sb strings.Builder
+		sb.WriteString(n.text)
+		for _, c := range n.Children {
+			if d.Nodes[c].Kind == ElementNode {
+				sb.WriteString(d.strValues[c])
 			}
 		}
 		d.strValues[i] = sb.String()
-		parts[i] = []string{d.strValues[i]}
 	}
 }
 
@@ -145,7 +162,7 @@ type Builder struct {
 // and a root element with the given name.
 func NewBuilder(id DocID, ts Timestamp, rootName string) *Builder {
 	b := &Builder{doc: Document{ID: id, Timestamp: ts}}
-	b.doc.Nodes = append(b.doc.Nodes, Node{ID: 0, Kind: ElementNode, Name: rootName, Parent: -1, Depth: 0})
+	b.doc.Nodes = append(b.doc.Nodes, Node{ID: 0, Kind: ElementNode, Name: rootName, Sym: sym.Intern(rootName), Parent: -1, Depth: 0})
 	return b
 }
 
@@ -155,7 +172,7 @@ func (b *Builder) Element(parent NodeID, name, text string) NodeID {
 	id := NodeID(len(b.doc.Nodes))
 	p := &b.doc.Nodes[parent]
 	b.doc.Nodes = append(b.doc.Nodes, Node{
-		ID: id, Kind: ElementNode, Name: name, Parent: parent,
+		ID: id, Kind: ElementNode, Name: name, Sym: sym.Intern(name), Parent: parent,
 		Depth: p.Depth + 1, text: text,
 	})
 	b.doc.Nodes[parent].Children = append(b.doc.Nodes[parent].Children, id)
@@ -167,7 +184,7 @@ func (b *Builder) Attribute(parent NodeID, name, value string) NodeID {
 	id := NodeID(len(b.doc.Nodes))
 	p := &b.doc.Nodes[parent]
 	b.doc.Nodes = append(b.doc.Nodes, Node{
-		ID: id, Kind: AttributeNode, Name: name, Parent: parent,
+		ID: id, Kind: AttributeNode, Name: name, Sym: sym.AttrIntern(name), Parent: parent,
 		Depth: p.Depth + 1, text: value,
 	})
 	b.doc.Nodes[parent].Children = append(b.doc.Nodes[parent].Children, id)
@@ -184,13 +201,28 @@ func (b *Builder) Build() *Document {
 	return d
 }
 
+// parseScratch is the pooled per-parse working set: the open-element stack.
+// The document's node and value arrays escape into the returned Document
+// and are never pooled; the scratch must not.
+type parseScratch struct {
+	stack []NodeID
+}
+
+//mmqjp:pooled parse scratch is reset on Get and nothing it references escapes into the Document
+var parsePool = sync.Pool{New: func() any { return &parseScratch{} }}
+
 // Parse reads a single XML document from r and assigns the given stream
 // metadata. Attributes become AttributeNode children preceding element
 // children, and character data is attached to the innermost open element.
 func Parse(r io.Reader, id DocID, ts Timestamp) (*Document, error) {
 	dec := xml.NewDecoder(r)
 	var b *Builder
-	var stack []NodeID
+	scratch := parsePool.Get().(*parseScratch)
+	stack := scratch.stack[:0]
+	defer func() {
+		scratch.stack = stack[:0]
+		parsePool.Put(scratch)
+	}()
 	for {
 		tok, err := dec.Token()
 		if err == io.EOF {

@@ -16,9 +16,27 @@
 // of both NFA execution and witness assembly is paid once per distinct
 // pattern per document, independent of how many queries reference the
 // pattern.
+//
+// # Memory layout
+//
+// States live in a dense slice indexed by int32 state id. Transitions are
+// matched through a flat table indexed by (state, symbol slot), where a
+// symbol slot is the NFA-local index of an interned symbol id
+// (internal/sym): document nodes carry their interned symbol, so the
+// per-node transition step is two array loads and never hashes a string.
+// The table is rebuilt lazily after Register; rebuilds are serialized and
+// published with an atomic flag so concurrent MatchDocument calls are safe.
+// Per-document evaluation state (active-state sets per depth, the
+// generation-stamped visited array, candidate lists) lives in a pooled
+// MatchResult that callers return with Release when they are done with the
+// witnesses.
 package yfilter
 
 import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/sym"
 	"repro/internal/xmldoc"
 	"repro/internal/xpath"
 )
@@ -26,29 +44,100 @@ import (
 // PatternID identifies a distinct registered pattern.
 type PatternID int32
 
-// nfaState is one state of the shared NFA.
-type nfaState struct {
-	trans   map[string]*nfaState // transition on an exact symbol ("name" or "@name")
-	star    *nfaState            // transition on any element symbol
-	eps     *nfaState            // ε-transition to the //-self-loop state
-	self    bool                 // state has a self-loop on any symbol (the // state)
-	accepts []int                // prefix ids accepted when this state is reached
-}
+// stateID indexes streamNFA.states. The sentinel -1 means "no state".
+type stateID = int32
 
-func newState() *nfaState { return &nfaState{trans: map[string]*nfaState{}} }
+const noState stateID = -1
+
+// nfaState is one state of the shared NFA. Exact-symbol transitions are
+// kept in a per-state map during construction and flattened into the
+// stream's dense transition table before matching.
+type nfaState struct {
+	trans   map[sym.ID]stateID // construction form of the exact-symbol transitions
+	star    stateID            // transition on any element symbol (noState if absent)
+	eps     stateID            // ε-transition to the //-self-loop state (noState if absent)
+	self    bool               // state has a self-loop on any symbol (the // state)
+	accepts []int              // prefix ids accepted when this state is reached
+}
 
 // streamNFA is the NFA and pattern registry for one input stream.
 type streamNFA struct {
-	start      *nfaState
-	prefixIDs  map[string]int // prefix key -> dense id
-	numPrefix  int
-	patterns   []PatternID // patterns registered on this stream
-	stateCount int
+	states    []nfaState // states[0] is the start state
+	prefixIDs map[string]int
+	numPrefix int
+	patterns  []PatternID // patterns registered on this stream
 	// prefixLive[p] counts the live patterns referencing prefix p;
 	// candidate collection is skipped for prefixes only dead patterns
 	// need, so per-document cost tracks the live set, not every pattern
 	// ever registered.
 	prefixLive []int
+
+	// Dense transition table, rebuilt lazily after Register. slot maps a
+	// global interned symbol id to 1+its NFA-local column (0 = the symbol
+	// labels no transition anywhere in this NFA); table[s*width+c] is the
+	// target of state s on column c, or noState. tableClean flips to false
+	// on every Register and is re-set after a rebuild under tableMu, so
+	// concurrent matchers either see a clean table or serialize on the
+	// rebuild.
+	tableMu    sync.Mutex
+	tableClean atomic.Bool
+	width      int
+	slot       []int32
+	table      []stateID
+}
+
+func (sn *streamNFA) newState() stateID {
+	id := stateID(len(sn.states))
+	sn.states = append(sn.states, nfaState{star: noState, eps: noState})
+	return id
+}
+
+// ensureTable flattens the per-state transition maps into the dense table
+// if Register has invalidated it. Safe to call from concurrent matchers.
+func (sn *streamNFA) ensureTable() {
+	if sn.tableClean.Load() {
+		return
+	}
+	sn.tableMu.Lock()
+	defer sn.tableMu.Unlock()
+	if sn.tableClean.Load() {
+		return
+	}
+	// Mark the symbols that label at least one transition, then assign
+	// columns in increasing symbol-id order (deterministic layout).
+	maxSym := sym.ID(-1)
+	for i := range sn.states {
+		for id := range sn.states[i].trans {
+			if id > maxSym {
+				maxSym = id
+			}
+		}
+	}
+	slot := make([]int32, int(maxSym)+1)
+	for i := range sn.states {
+		for id := range sn.states[i].trans {
+			slot[id] = 1
+		}
+	}
+	width := 0
+	for i := range slot {
+		if slot[i] != 0 {
+			width++
+			slot[i] = int32(width)
+		}
+	}
+	table := make([]stateID, len(sn.states)*width)
+	for i := range table {
+		table[i] = noState
+	}
+	for i := range sn.states {
+		base := i * width
+		for id, t := range sn.states[i].trans {
+			table[base+int(slot[id])-1] = t
+		}
+	}
+	sn.slot, sn.width, sn.table = slot, width, table
+	sn.tableClean.Store(true)
 }
 
 // Engine is the shared XPath evaluator.
@@ -68,6 +157,9 @@ type Engine struct {
 	// collection for its exclusive prefixes stops. Register revives a
 	// canonically-equal pattern.
 	dead []bool
+
+	//mmqjp:pooled MatchResults are reset by Release and hold only per-document scratch; witnesses handed to callers own their Bindings arrays
+	pool sync.Pool
 }
 
 // NewEngine returns an empty evaluator.
@@ -86,6 +178,9 @@ func (e *Engine) Pattern(id PatternID) *xpath.Pattern { return e.patterns[id] }
 // existing id is returned. The returned id's Pattern may therefore differ
 // from p in variable names but matches exactly the same witnesses (bindings
 // are positional, in pre-order of bound nodes).
+//
+// Register must not run concurrently with MatchDocument (internal/core
+// serializes registration against ingestion).
 func (e *Engine) Register(p *xpath.Pattern) PatternID {
 	key := p.CanonicalKey()
 	if id, ok := e.byKey[key]; ok {
@@ -98,8 +193,8 @@ func (e *Engine) Register(p *xpath.Pattern) PatternID {
 
 	sn := e.streams[p.Stream]
 	if sn == nil {
-		sn = &streamNFA{start: newState(), prefixIDs: map[string]int{}}
-		sn.stateCount = 1
+		sn = &streamNFA{prefixIDs: map[string]int{}}
+		sn.newState()
 		e.streams[p.Stream] = sn
 	}
 	sn.patterns = append(sn.patterns, id)
@@ -108,14 +203,14 @@ func (e *Engine) Register(p *xpath.Pattern) PatternID {
 	// record the prefix id for each pattern node.
 	np := make([]int, len(p.Nodes))
 	for _, path := range p.Decompose() {
-		cur := sn.start
+		cur := stateID(0)
 		key := ""
 		for si, st := range path.Steps {
-			sym := st.Name
+			name := st.Name
 			if st.IsAttr {
-				sym = "@" + sym
+				name = "@" + name
 			}
-			key += st.Axis.String() + sym
+			key += st.Axis.String() + name
 			cur = sn.insertStep(cur, st)
 			pid, ok := sn.prefixIDs[key]
 			if !ok {
@@ -123,11 +218,12 @@ func (e *Engine) Register(p *xpath.Pattern) PatternID {
 				sn.numPrefix++
 				sn.prefixIDs[key] = pid
 				sn.prefixLive = append(sn.prefixLive, 0)
-				cur.accepts = append(cur.accepts, pid)
+				sn.states[cur].accepts = append(sn.states[cur].accepts, pid)
 			}
 			np[path.NodeIndexes[si]] = pid
 		}
 	}
+	sn.tableClean.Store(false)
 	e.nodePrefix = append(e.nodePrefix, np)
 
 	hb := make([]bool, len(p.Nodes))
@@ -182,38 +278,43 @@ func (e *Engine) SetLive(id PatternID, live bool) {
 
 // insertStep adds (or reuses) the NFA structure for one location step from
 // state cur and returns the step's target state.
-func (sn *streamNFA) insertStep(cur *nfaState, st xpath.PathStep) *nfaState {
+func (sn *streamNFA) insertStep(cur stateID, st xpath.PathStep) stateID {
 	if st.Axis == xpath.Descendant {
-		if cur.eps == nil {
-			sl := newState()
-			sl.self = true
-			cur.eps = sl
-			sn.stateCount++
+		if sn.states[cur].eps == noState {
+			sl := sn.newState()
+			sn.states[sl].self = true
+			sn.states[cur].eps = sl
 		}
-		cur = cur.eps
+		cur = sn.states[cur].eps
 	}
-	sym := st.Name
+	name := st.Name
 	if st.IsAttr {
-		sym = "@" + sym
+		name = "@" + name
 	}
-	if sym == "*" && !st.IsAttr {
-		if cur.star == nil {
-			cur.star = newState()
-			sn.stateCount++
+	if name == "*" && !st.IsAttr {
+		if sn.states[cur].star == noState {
+			sl := sn.newState()
+			sn.states[cur].star = sl
 		}
-		return cur.star
+		return sn.states[cur].star
 	}
-	next := cur.trans[sym]
-	if next == nil {
-		next = newState()
-		cur.trans[sym] = next
-		sn.stateCount++
+	id := sym.Intern(name)
+	if sn.states[cur].trans == nil {
+		sn.states[cur].trans = map[sym.ID]stateID{}
+	}
+	next, ok := sn.states[cur].trans[id]
+	if !ok {
+		next = sn.newState()
+		sn.states[cur].trans[id] = next
 	}
 	return next
 }
 
 // MatchResult holds the outcome of evaluating one document against all
-// patterns of one stream.
+// patterns of one stream, plus the reusable per-document scratch of the NFA
+// run. Results come from a per-engine pool; callers that are done with the
+// witnesses should call Release to recycle the candidate lists and scratch
+// (witness Bindings arrays are freshly allocated and survive Release).
 type MatchResult struct {
 	eng    *Engine
 	stream string
@@ -221,11 +322,18 @@ type MatchResult struct {
 	doc    *xmldoc.Document
 
 	// candList[prefixID] lists the document nodes matching the prefix, in
-	// document order; candSet is the same data as membership sets.
+	// document order. Backing arrays are retained across Release/reuse.
 	candList [][]xmldoc.NodeID
-	candSet  []map[xmldoc.NodeID]bool
 
 	witnesses map[PatternID][]xpath.Witness
+
+	// levels[d] is the active state set at document depth d; each depth
+	// owns its slice, so sibling subtrees can never alias each other's
+	// active sets. visited[s] == gen marks state s as already in the
+	// next set being built (one generation per document node).
+	levels  [][]stateID
+	visited []uint64
+	gen     uint64
 }
 
 // MatchDocument runs the stream's shared NFA over the document and returns a
@@ -236,87 +344,114 @@ func (e *Engine) MatchDocument(stream string, d *xmldoc.Document) *MatchResult {
 	if sn == nil {
 		return nil
 	}
-	r := &MatchResult{
-		eng:       e,
-		stream:    stream,
-		sn:        sn,
-		doc:       d,
-		candList:  make([][]xmldoc.NodeID, sn.numPrefix),
-		candSet:   make([]map[xmldoc.NodeID]bool, sn.numPrefix),
-		witnesses: map[PatternID][]xpath.Witness{},
+	sn.ensureTable()
+	r, _ := e.pool.Get().(*MatchResult)
+	if r == nil {
+		r = &MatchResult{witnesses: map[PatternID][]xpath.Witness{}}
 	}
-	start := epsClosure([]*nfaState{sn.start})
-	r.visit(d.Root(), start)
+	r.eng, r.stream, r.sn, r.doc = e, stream, sn, d
+	if cap(r.candList) >= sn.numPrefix {
+		r.candList = r.candList[:sn.numPrefix]
+	} else {
+		r.candList = append(r.candList[:cap(r.candList)], make([][]xmldoc.NodeID, sn.numPrefix-cap(r.candList))...)
+	}
+	if len(r.visited) < len(sn.states) {
+		r.visited = make([]uint64, len(sn.states))
+		r.gen = 0
+	}
+	if len(r.levels) == 0 {
+		r.levels = append(r.levels, nil)
+	}
+
+	// Seed depth 0 with the ε-closure of the start state.
+	r.gen++
+	lvl0 := r.levels[0][:0]
+	for u := stateID(0); u != noState && r.visited[u] != r.gen; u = sn.states[u].eps {
+		r.visited[u] = r.gen
+		lvl0 = append(lvl0, u)
+	}
+	r.levels[0] = lvl0
+	r.visit(d.Root(), 0)
 	return r
 }
 
-func epsClosure(states []*nfaState) []*nfaState {
-	out := states
-	for i := 0; i < len(out); i++ {
-		if e := out[i].eps; e != nil {
-			dup := false
-			for _, s := range out {
-				if s == e {
-					dup = true
-					break
-				}
-			}
-			if !dup {
-				out = append(out, e)
-			}
-		}
+// Release returns the result's scratch to the engine's pool. The result
+// must not be used afterwards; witnesses already handed out stay valid
+// (their Bindings arrays are never pooled). Release on nil or an already
+// released result is a no-op.
+func (r *MatchResult) Release() {
+	if r == nil || r.eng == nil {
+		return
 	}
-	return out
+	eng := r.eng
+	for i := range r.candList {
+		r.candList[i] = r.candList[i][:0]
+	}
+	clear(r.witnesses)
+	r.eng, r.sn, r.doc = nil, nil, nil
+	eng.pool.Put(r)
 }
 
-// visit consumes document node n from the active state set and recurses into
-// its children (SAX start-element semantics; end-element corresponds to the
-// implicit stack pop on return).
-func (r *MatchResult) visit(n xmldoc.NodeID, active []*nfaState) {
+// visit consumes document node n from the active state set at the given
+// depth and recurses into its children (SAX start-element semantics;
+// end-element corresponds to the implicit stack pop on return). The next
+// set is deduplicated with the generation-stamped visited array, and
+// ε-successors are folded in as each state is added, so closure costs O(1)
+// per discovered state instead of a rescan of the set.
+func (r *MatchResult) visit(n xmldoc.NodeID, depth int) {
 	dn := r.doc.Node(n)
 	isElem := dn.Kind == xmldoc.ElementNode
-	sym := dn.Name
-	if !isElem {
-		sym = "@" + sym
+	sn := r.sn
+	active := r.levels[depth]
+	if len(r.levels) == depth+1 {
+		r.levels = append(r.levels, nil)
 	}
-	next := make([]*nfaState, 0, len(active))
-	add := func(s *nfaState) {
-		for _, t := range next {
-			if t == s {
-				return
-			}
-		}
-		next = append(next, s)
+	next := r.levels[depth+1][:0]
+	r.gen++
+	gen := r.gen
+	visited := r.visited
+	var slotID int32
+	if int(dn.Sym) < len(sn.slot) {
+		slotID = sn.slot[dn.Sym]
 	}
 	for _, s := range active {
-		if t := s.trans[sym]; t != nil {
-			add(t)
+		st := &sn.states[s]
+		if slotID > 0 {
+			if t := sn.table[int(s)*sn.width+int(slotID)-1]; t != noState {
+				for u := t; u != noState && visited[u] != gen; u = sn.states[u].eps {
+					visited[u] = gen
+					next = append(next, u)
+				}
+			}
 		}
-		if isElem && s.star != nil {
-			add(s.star)
+		if isElem && st.star != noState {
+			for u := st.star; u != noState && visited[u] != gen; u = sn.states[u].eps {
+				visited[u] = gen
+				next = append(next, u)
+			}
 		}
-		if s.self {
-			add(s) // the // state stays active at all depths
+		if st.self {
+			// The // state stays active at all depths.
+			for u := s; u != noState && visited[u] != gen; u = sn.states[u].eps {
+				visited[u] = gen
+				next = append(next, u)
+			}
 		}
 	}
-	next = epsClosure(next)
+	r.levels[depth+1] = next
 	for _, s := range next {
-		for _, pid := range s.accepts {
-			if r.sn.prefixLive[pid] == 0 {
+		for _, pid := range sn.states[s].accepts {
+			if sn.prefixLive[pid] == 0 {
 				continue // only unregistered patterns need this prefix
 			}
 			r.candList[pid] = append(r.candList[pid], n)
-			if r.candSet[pid] == nil {
-				r.candSet[pid] = map[xmldoc.NodeID]bool{}
-			}
-			r.candSet[pid][n] = true
 		}
 	}
 	if len(next) == 0 {
 		return // no active state can ever fire below this node
 	}
 	for _, c := range dn.Children {
-		r.visit(c, next)
+		r.visit(c, depth+1)
 	}
 }
 

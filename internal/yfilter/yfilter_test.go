@@ -78,9 +78,9 @@ func TestSharedPrefixStates(t *testing.T) {
 	// patterns over the same prefix grows the state count sub-linearly.
 	e := NewEngine()
 	e.Register(xpath.MustParseBlock("S//a->v[.//b->w]"))
-	n1 := e.streams["S"].stateCount
+	n1 := len(e.streams["S"].states)
 	e.Register(xpath.MustParseBlock("S//a->v[.//c->w]"))
-	n2 := e.streams["S"].stateCount
+	n2 := len(e.streams["S"].states)
 	// Only the c branch is new: the //a prefix (2 states) is shared, so
 	// the second registration adds at most 2 states (// state reuse + c).
 	if n2-n1 > 2 {
@@ -286,6 +286,86 @@ func TestPropertyManyPatternsOneEngine(t *testing.T) {
 			}
 		}
 	}
+}
+
+// TestDeepEpsSiblingRegression pins the fix for an aliasing bug in the old
+// ε-closure: it extended its input slice in place (out := states; out =
+// append(out, ...)), so when a parent's next-set had spare capacity, closing
+// over one child's next-set could overwrite states a sibling subtree was
+// still reading through the shared backing array. Deep chains of //-steps
+// (each one an ε edge) over documents with wide sibling fan-out are exactly
+// the shape that triggered it. The rewrite gives every document depth its
+// own active-set slice, which this test locks in against the naive matcher.
+func TestDeepEpsSiblingRegression(t *testing.T) {
+	patterns := []string{
+		"S//a->p[.//a->q[.//a->r]]",
+		"S//a->x[.//b->y[.//c->z]]",
+		"S//a->m[.//c->n]",
+		"S//b->u[.//a->v]",
+	}
+	// A document whose root has many siblings, each a deep chain of a/b/c
+	// elements, so every depth carries a large active set rich in
+	// self-loop states and ε edges.
+	b := xmldoc.NewBuilder(1, 0, "a")
+	names := []string{"a", "b", "c"}
+	for s := 0; s < 6; s++ {
+		parent := b.Element(0, names[s%3], "")
+		for d := 0; d < 8; d++ {
+			parent = b.Element(parent, names[(s+d)%3], "")
+		}
+	}
+	d := b.Build()
+
+	e := NewEngine()
+	ids := make([]PatternID, len(patterns))
+	for i, ps := range patterns {
+		ids[i] = e.Register(xpath.MustParseBlock(ps))
+	}
+	r := e.MatchDocument("S", d)
+	for i, ps := range patterns {
+		got := sortedWitnesses(r.Witnesses(ids[i]))
+		want := sortedWitnesses(e.Pattern(ids[i]).MatchNaive(d))
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("pattern %q:\nengine %v\nnaive  %v", ps, got, want)
+		}
+	}
+}
+
+// TestMatchResultReleaseReuse checks the MatchResult pool: a released
+// result's scratch is recycled without leaking candidates or witnesses into
+// the next document's result, and witnesses handed out before Release stay
+// valid afterwards.
+func TestMatchResultReleaseReuse(t *testing.T) {
+	e := NewEngine()
+	p := e.Register(xpath.MustParseBlock("S//book->x1[.//author->x2]"))
+	d1 := xmldoc.PaperD1(1, 100)
+
+	r1 := e.MatchDocument("S", d1)
+	ws := r1.Witnesses(p)
+	want := sortedWitnesses(ws)
+	if len(want) == 0 {
+		t.Fatal("test premise: pattern matches d1")
+	}
+	r1.Release()
+	r1.Release() // double release is a no-op
+
+	// The witnesses handed out before Release must be unaffected by a
+	// subsequent match that reuses the pooled scratch.
+	d2 := xmldoc.PaperD2(2, 200)
+	r2 := e.MatchDocument("S", d2)
+	if got := r2.Witnesses(p); len(got) != 0 {
+		t.Errorf("reused result leaked candidates across documents: %v", got)
+	}
+	if got := sortedWitnesses(ws); !reflect.DeepEqual(got, want) {
+		t.Errorf("witnesses mutated by pooled reuse: %v, want %v", got, want)
+	}
+	r2.Release()
+
+	r3 := e.MatchDocument("S", d1)
+	if got := sortedWitnesses(r3.Witnesses(p)); !reflect.DeepEqual(got, want) {
+		t.Errorf("witnesses after reuse = %v, want %v", got, want)
+	}
+	r3.Release()
 }
 
 // TestSetLive checks the pattern-liveness control: a dead pattern stops
